@@ -1,0 +1,98 @@
+"""Fig. 11 — weak and strong scaling up to 4096 nodes.
+
+Four panels: weak scaling of ADS3 on Theta and ADS2 on Blue Waters
+(x8 nodes per step), strong scaling of RDS2 on Theta (128-4096 nodes)
+and RDS1 on Blue Waters (32-4096).  The kernel decomposition (A_p, C,
+R) follows the paper's factorization; the communication constant is
+*fitted from executed decompositions* at small P (validating the
+O(MN sqrt(P)) law on the way), then the model extrapolates.
+
+Shapes to reproduce: weak scaling flat except C ~ sqrt(P); strong
+scaling ~1/P for A_p with C eventually dominating; Blue Waters
+saturating earlier than Theta (paper 4.3.2).
+"""
+
+import numpy as np
+
+from repro.dist import (
+    DistributedOperator,
+    decompose_both,
+    strong_scaling_series,
+    weak_scaling_series,
+)
+from repro.machine import get_machine
+from repro.utils import render_table
+
+from conftest import build_ordered
+
+
+def _fit_overlap_constant(scaled_specs):
+    """Fit c in comm_elements = c * M * N * sqrt(P) from real runs."""
+    spec = scaled_specs["ADS2"]
+    matrix, tomo, sino = build_ordered(spec, min_tiles=256)
+    m, n = spec.num_projections, spec.num_channels
+    constants = []
+    for p in (16, 64):
+        td, sd = decompose_both(tomo, sino, p)
+        op = DistributedOperator(matrix, td, sd)
+        elements = op.communication_matrix().sum() / 4
+        constants.append(elements / (m * n * np.sqrt(p)))
+    return float(np.mean(constants)), constants
+
+
+def _series_table(points, title):
+    rows = [p.row() for p in points]
+    return render_table(
+        ["Nodes", "Sinogram", "Total (s)", "A_p (s)", "C (s)", "R (s)"], rows, title=title
+    )
+
+
+def test_fig11_scaling(report, scaled_specs, benchmark):
+    overlap, fitted = _fit_overlap_constant(scaled_specs)
+    kwargs = {"overlap_constant": overlap}
+
+    weak_theta = weak_scaling_series(1500, 1024, get_machine("theta"), 4, **kwargs)
+    weak_bw = weak_scaling_series(750, 512, get_machine("bluewaters"), 5, **kwargs)
+    strong_theta = strong_scaling_series(
+        4501, 11283, get_machine("theta"), [128, 256, 512, 1024, 2048, 4096], **kwargs
+    )
+    strong_bw = strong_scaling_series(
+        1501, 2048, get_machine("bluewaters"), [32, 64, 128, 256, 512, 1024, 4096], **kwargs
+    )
+
+    sections = [
+        f"fitted overlap constant c = {overlap:.3f} "
+        f"(per-P fits: {', '.join(f'{c:.3f}' for c in fitted)}; law: elems = c*M*N*sqrt(P))",
+        _series_table(weak_theta, "Fig. 11(a): ADS3/Theta weak scaling (x8 nodes per step)"),
+        _series_table(weak_bw, "Fig. 11(b): ADS2/Blue Waters weak scaling"),
+        _series_table(strong_theta, "Fig. 11(c): RDS2/Theta strong scaling"),
+        _series_table(strong_bw, "Fig. 11(d): RDS1/Blue Waters strong scaling"),
+    ]
+    report("fig11_scaling", "\n\n".join(sections))
+
+    # Weak scaling: A_p flat within 2x; C grows monotonically.
+    ap = [p.ap_seconds for p in weak_theta]
+    assert max(ap) / min(ap) < 2.0
+    comm = [p.comm_seconds for p in weak_theta[1:]]
+    assert all(b > a for a, b in zip(comm, comm[1:]))
+
+    # Strong scaling: totals fall then flatten; Theta's RDS2 still
+    # improves at 2048 (paper: good scaling to 2048 nodes).
+    t_tot = [p.total_seconds for p in strong_theta]
+    assert t_tot[4] < t_tot[0]  # 2048 < 128 nodes
+    # Blue Waters saturates earlier: its last doubling gains little.
+    b_tot = [p.total_seconds for p in strong_bw]
+    gain_early = b_tot[0] / b_tot[2]  # 32 -> 128 nodes
+    gain_late = b_tot[4] / b_tot[6]  # 512 -> 4096 nodes
+    assert gain_early > gain_late
+
+    # RDS2 reconstruction on Theta lands in the near-real-time regime
+    # (paper: ~10 s at 2048 nodes; the model underestimates absolute
+    # times at extreme P — it omits load imbalance and barrier costs —
+    # so only the seconds-not-minutes shape is asserted).
+    best_rds2 = min(t_tot)
+    assert 0.05 < best_rds2 < 120.0
+
+    benchmark(
+        strong_scaling_series, 4501, 11283, get_machine("theta"), [1024], **kwargs
+    )

@@ -1,0 +1,82 @@
+"""Shared benchmark fixtures and the report helper.
+
+Each benchmark regenerates one table or figure of the paper, printing a
+paper-vs-measured comparison and writing it to ``benchmarks/out/`` so
+EXPERIMENTS.md can reference the artifacts.  Scaled dataset instances
+are built once per session (tracing dominates setup cost).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import OperatorConfig, get_dataset, preprocess
+from repro.ordering import make_ordering
+from repro.sparse import CSRMatrix
+from repro.trace import build_projection_matrix
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Linear scale factors used for the laptop-size instances of each
+#: dataset (full sizes exceed this machine; see DESIGN.md Section 6).
+SCALES = {
+    "ADS1": 0.25,  # 90 x 64
+    "ADS2": 0.25,  # 188 x 128
+    "ADS3": 0.1875,  # 282 x 192
+    "ADS4": 0.125,  # 300 x 256
+    "RDS1": 0.125,  # 188 x 256
+    "RDS2": 0.034,  # 154 x 384
+}
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer: report(name, text) -> benchmarks/out/<name>.txt + stdout."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{'=' * 72}\n{text}\n{'=' * 72}", file=sys.stderr)
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def scaled_specs():
+    """Scaled DatasetSpec per paper dataset."""
+    return {name: get_dataset(name).scaled(factor) for name, factor in SCALES.items()}
+
+
+def build_ordered(spec, ordering_name="pseudo-hilbert", min_tiles=16):
+    """Trace a scaled dataset and return (matrix, tomo, sino) in order."""
+    g = spec.geometry()
+    raw = CSRMatrix.from_scipy(build_projection_matrix(g))
+    n = g.grid.n
+    tomo = make_ordering(ordering_name, n, n, min_tiles=min_tiles)
+    sino = make_ordering(ordering_name, g.num_angles, g.num_channels, min_tiles=min_tiles)
+    if ordering_name == "row-major":
+        return raw, tomo, sino
+    return raw.permute(sino.perm, tomo.rank).sort_rows_by_index(), tomo, sino
+
+
+@pytest.fixture(scope="session")
+def ads2_scaled(scaled_specs):
+    """Scaled ADS2 in both row-major and pseudo-Hilbert order plus a
+    buffered layout — the workhorse instance for Tables 4/6, Fig. 10."""
+    from repro.sparse import build_buffered
+
+    spec = scaled_specs["ADS2"]
+    raw, _, _ = build_ordered(spec, "row-major")
+    ordered, tomo, sino = build_ordered(spec)
+    buffered = build_buffered(ordered, partition_size=128, buffer_bytes=8192)
+    return {
+        "spec": spec,
+        "raw": raw,
+        "ordered": ordered,
+        "tomo": tomo,
+        "sino": sino,
+        "buffered": buffered,
+    }

@@ -1,0 +1,79 @@
+"""Fan-beam CT through the memory-centric machinery (extension).
+
+Run:  python examples/fan_beam_ct.py
+
+The paper treats parallel-beam synchrotron scans, but nothing in the
+memory-centric design is geometry-specific: any ray set can be
+memoized.  This example builds a lab-CT-style fan-beam system matrix,
+pushes it through the same orderings/buffering/solver stack, and
+reconstructs the Shepp-Logan phantom — including a sweep over source
+distance showing fan-beam converging to the parallel-beam result.
+"""
+
+import numpy as np
+
+from repro.geometry import FanBeamGeometry, ParallelBeamGeometry
+from repro.ordering import make_ordering
+from repro.phantoms import beer_law_sinogram, shepp_logan
+from repro.solvers import MatrixOperator, cgls
+from repro.sparse import CSRMatrix, build_buffered
+from repro.trace import build_fan_projection_matrix, build_projection_matrix
+from repro.utils import ascii_preview, psnr, render_table
+
+SIZE = 96
+ANGLES = 180
+
+
+def build_system(raw, num_angles, num_channels):
+    """Apply the full MemXCT treatment to a raw traced matrix."""
+    n = num_channels
+    tomo = make_ordering("pseudo-hilbert", n, n, min_tiles=16)
+    sino = make_ordering("pseudo-hilbert", num_angles, num_channels, min_tiles=16)
+    matrix = CSRMatrix.from_scipy(raw).permute(sino.perm, tomo.rank).sort_rows_by_index()
+    buffered = build_buffered(matrix, 128, 8192)
+    return MatrixOperator(matrix), tomo, sino, buffered
+
+
+def main() -> None:
+    truth = shepp_logan(SIZE)
+
+    print(f"building fan-beam system ({ANGLES} angles x {SIZE} channels)...")
+    fan = FanBeamGeometry(ANGLES, SIZE, source_distance=3.0 * SIZE)
+    raw_fan = build_fan_projection_matrix(fan)
+    op, tomo, sino, buffered = build_system(raw_fan, ANGLES, SIZE)
+    print(f"fan matrix nnz {op.matrix.nnz:,}; buffered stages {buffered.num_stages}")
+
+    clean = sino.from_ordered(op.forward(tomo.to_ordered(truth))).astype(np.float64)
+    noisy = beer_law_sinogram(clean, incident_photons=1e5, seed=0)
+    res = cgls(op, sino.to_ordered(noisy), num_iterations=30)
+    img_fan = tomo.from_ordered(res.x)
+    print(f"fan-beam reconstruction PSNR: {psnr(img_fan, truth):.2f} dB")
+    print(ascii_preview(img_fan, width=48, vmin=0, vmax=float(truth.max())))
+
+    # Convergence to the parallel-beam answer with growing distance.
+    par = ParallelBeamGeometry(ANGLES // 2, SIZE)
+    raw_par = build_projection_matrix(par)
+    op_p, tomo_p, sino_p, _ = build_system(raw_par, ANGLES // 2, SIZE)
+    clean_p = sino_p.from_ordered(op_p.forward(tomo_p.to_ordered(truth)))
+    img_par = tomo_p.from_ordered(
+        cgls(op_p, sino_p.to_ordered(beer_law_sinogram(clean_p, 1e5, seed=0)),
+             num_iterations=30).x
+    )
+
+    rows = []
+    for distance in (1.5 * SIZE, 3 * SIZE, 30 * SIZE):
+        g = FanBeamGeometry(ANGLES, SIZE, source_distance=distance)
+        opd, tomod, sinod, _ = build_system(build_fan_projection_matrix(g), ANGLES, SIZE)
+        cleand = sinod.from_ordered(opd.forward(tomod.to_ordered(truth))).astype(np.float64)
+        resd = cgls(opd, sinod.to_ordered(beer_law_sinogram(cleand, 1e5, seed=0)),
+                    num_iterations=30)
+        img = tomod.from_ordered(resd.x)
+        rows.append([f"{distance / SIZE:.1f}x grid", f"{psnr(img, truth):.2f}",
+                     f"{psnr(img, img_par):.2f}"])
+    print(render_table(
+        ["source distance", "PSNR vs phantom", "PSNR vs parallel-beam recon"],
+        rows, title="fan-beam vs parallel-beam (larger distance -> more parallel)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Low-dose study: why iterative reconstruction (the paper's Section 1).
+
+Run:  python examples/lowdose_study.py
+
+The paper motivates MemXCT with the failure of analytical methods on
+noisy/undersampled data: "reconstruction quality is often poor when
+measurements are noisy".  This example quantifies that across doses
+and solvers — FBP (two windows), early-stopped CG, Tikhonov-
+regularized CG, and SIRT — and prints an ASCII preview of the best
+and worst reconstruction at the lowest dose.
+"""
+
+import numpy as np
+
+from repro import get_dataset, preprocess
+from repro.solvers import cgls, fbp, regularized_cgls, sirt
+from repro.utils import ascii_preview, psnr, render_table, save_pgm
+
+
+def main() -> None:
+    spec = get_dataset("ADS1").scaled(0.375)  # 134 x 96
+    geometry = spec.geometry()
+    operator, _ = preprocess(geometry)
+    truth = spec.phantom()
+    print(f"dataset {spec.name}, sinogram {geometry.sinogram_shape}")
+
+    rows = []
+    extremes = {}
+    for photons in (1e2, 1e3, 1e4, 1e6):
+        sino, _ = spec.sinogram(operator, incident_photons=photons, seed=0)
+        y = operator.sinogram_to_ordered(sino)
+        candidates = {
+            "FBP (ramp)": fbp(operator, sino, window="ramp"),
+            "FBP (hann)": fbp(operator, sino, window="hann"),
+            "CG x10 (early stop)": operator.ordered_to_image(
+                cgls(operator, y, num_iterations=10).x
+            ),
+            "CG+Tikhonov x30": operator.ordered_to_image(
+                regularized_cgls(operator, y, strength=2.0, num_iterations=30).x
+            ),
+            "SIRT x45": operator.ordered_to_image(
+                sirt(operator, y, num_iterations=45).x
+            ),
+        }
+        scores = {name: psnr(img, truth) for name, img in candidates.items()}
+        rows.append(
+            [f"{photons:g}"] + [f"{scores[k]:.2f}" for k in candidates]
+        )
+        if photons == 1e2:
+            best = max(scores, key=scores.get)
+            worst = min(scores, key=scores.get)
+            extremes = {best: candidates[best], worst: candidates[worst]}
+
+    header = ["photons/ray", "FBP ramp", "FBP hann", "CG x10", "CG+Tik x30", "SIRT x45"]
+    print(render_table(header, rows, title="PSNR (dB) vs dose"))
+
+    for name, img in extremes.items():
+        print(f"\n{name} at 100 photons/ray:")
+        print(ascii_preview(img, width=48, vmin=0, vmax=float(truth.max())))
+        fname = f"lowdose_{name.split()[0].lower().strip('+(')}.pgm"
+        save_pgm(fname, img)
+        print(f"(saved {fname})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Address-trace generation for the SpMV kernels.
+
+The performance story of the paper is entirely about the *irregular*
+stream: the gathers ``x[ind[j]]`` in Listing 2 and the staging gathers
+``x[map[i]]`` in Listing 3.  The regular streams (``ind``, ``val``,
+``displ``) are sequential and prefetch perfectly, so only the irregular
+streams are traced.
+
+Element addresses assume 4-byte (float32) vector elements, matching the
+paper's data types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import BufferedMatrix, CSRMatrix
+
+__all__ = [
+    "irregular_trace_csr",
+    "irregular_trace_buffered",
+    "combined_trace_csr",
+    "footprint_coordinates",
+    "ELEMENT_BYTES",
+]
+
+ELEMENT_BYTES = 4
+
+#: Regular streams (ind, val) live far above the input vector in the
+#: address space; one shared base keeps the trace compact.
+_STREAM_BASE = np.int64(1) << 40
+
+
+def irregular_trace_csr(matrix: CSRMatrix) -> np.ndarray:
+    """Byte addresses of the ``x`` gathers of the baseline CSR kernel.
+
+    Rows are processed in storage order and each row's nonzeros in
+    their stored order, exactly as Listing 2 executes.
+    """
+    return matrix.ind.astype(np.int64) * ELEMENT_BYTES
+
+
+def combined_trace_csr(matrix: CSRMatrix) -> tuple[np.ndarray, np.ndarray]:
+    """Gather trace interleaved with the regular-stream traffic.
+
+    The baseline CSR kernel streams ``ind`` (4 B) and ``val`` (4 B)
+    while gathering ``x``; on a shared cache (KNL's per-tile L2, GPU
+    L2) the streams continually evict gathered lines, which is where
+    the measured miss rates of paper Fig. 9(b) come from even when the
+    input vector alone would fit.  Returns ``(addresses, is_gather)``;
+    miss rates are reported for the gather accesses only.
+    """
+    nnz = matrix.nnz
+    gather = matrix.ind.astype(np.int64) * ELEMENT_BYTES
+    stream = _STREAM_BASE + np.arange(nnz, dtype=np.int64) * 8  # ind+val pair
+    addresses = np.empty(2 * nnz, dtype=np.int64)
+    addresses[0::2] = stream
+    addresses[1::2] = gather
+    is_gather = np.zeros(2 * nnz, dtype=bool)
+    is_gather[1::2] = True
+    return addresses, is_gather
+
+
+def irregular_trace_buffered(buffered: BufferedMatrix) -> np.ndarray:
+    """Byte addresses of the memory-side gathers of the buffered kernel.
+
+    After multi-stage buffering, the only irregular accesses that reach
+    the memory hierarchy are the staging reads ``x[map[i]]``; the
+    per-nonzero gathers hit the explicitly managed L1 buffer and never
+    leave the core.  The trace is therefore the concatenated ``map``
+    stream in stage order.
+    """
+    return buffered.map.astype(np.int64) * ELEMENT_BYTES
+
+
+def footprint_coordinates(
+    matrix: CSRMatrix, row_range: tuple[int, int], domain_cols: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """2D coordinates (in the *row-major* input domain) gathered by a
+    row range, with multiplicity.
+
+    Used to draw the access-footprint pictures of paper Figs. 5/6 and
+    to compute data-reuse statistics.  ``domain_cols`` is the width of
+    the 2D input domain the columns index into.
+    """
+    lo, hi = matrix.displ[row_range[0]], matrix.displ[row_range[1]]
+    cols = matrix.ind[lo:hi].astype(np.int64)
+    return cols % domain_cols, cols // domain_cols

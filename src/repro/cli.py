@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands cover the beamline workflow:
+
+* ``info``        — list datasets (Table 3) and machine models (Table 2);
+* ``preprocess``  — memoize a scan geometry into an operator file;
+* ``reconstruct`` — reconstruct a sinogram (from a .npz file or a
+  synthetic demo dataset) with a chosen solver;
+* ``bench``       — quick kernel timing of the three optimization
+  levels on a scaled dataset;
+* ``scale``       — print a modeled weak/strong scaling curve
+  (paper Fig. 11) for a dataset-machine pair.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from .core import DATASETS, OperatorConfig, get_dataset, preprocess, reconstruct
+from .machine import MACHINES
+from .utils import format_bytes, format_seconds, psnr, render_table
+
+__all__ = ["main"]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(DATASETS):
+        spec = DATASETS[name]
+        irr = spec.irregular_bytes()
+        reg = spec.regular_bytes()
+        rows.append(
+            [name, f"{spec.num_projections}x{spec.num_channels}", spec.sample,
+             f"{format_bytes(irr[0])}/{format_bytes(irr[1])}",
+             f"{format_bytes(reg[0])}"]
+        )
+    print(render_table(
+        ["Dataset", "Sinogram", "Sample", "Irregular fwd/adj", "Regular (each)"],
+        rows, title="Datasets (paper Table 3)"))
+    print()
+    rows = [
+        [key, m.name, m.num_nodes, m.device.name,
+         f"{m.device.fast_mem_bw / 1e9:.0f} GB/s"]
+        for key, m in MACHINES.items()
+    ]
+    print(render_table(
+        ["Key", "Machine", "Nodes", "Device", "Device B/W"],
+        rows, title="Machine models (paper Table 2)"))
+    return 0
+
+
+def _cmd_preprocess(args: argparse.Namespace) -> int:
+    from .geometry import ParallelBeamGeometry
+    from .io import save_operator
+
+    geometry = ParallelBeamGeometry(args.angles, args.channels)
+    config = OperatorConfig(
+        kernel=args.kernel,
+        partition_size=args.partition_size,
+        buffer_bytes=args.buffer_kb * 1024,
+    )
+    t0 = time.perf_counter()
+    operator, report = preprocess(geometry, config=config, ordering=args.ordering)
+    save_operator(args.output, operator)
+    print(
+        f"preprocessed {args.angles}x{args.channels} in "
+        f"{format_seconds(time.perf_counter() - t0)} "
+        f"(tracing {format_seconds(report.tracing_seconds)}); "
+        f"nnz {operator.matrix.nnz:,}; saved to {args.output}"
+    )
+    return 0
+
+
+def _cmd_reconstruct(args: argparse.Namespace) -> int:
+    from .io import load_operator
+
+    operator = None
+    if args.operator:
+        operator = load_operator(args.operator)
+
+    if args.demo:
+        spec = get_dataset(args.demo).scaled(args.scale)
+        geometry = spec.geometry()
+        if operator is None:
+            operator, _ = preprocess(geometry)
+        sinogram, truth = spec.sinogram(operator, incident_photons=args.photons)
+    else:
+        if not args.sinogram:
+            print("error: provide --sinogram FILE or --demo DATASET", file=sys.stderr)
+            return 2
+        with np.load(args.sinogram) as data:
+            sinogram = data["sinogram"]
+        truth = None
+        geometry = None
+
+    result = reconstruct(
+        sinogram,
+        geometry,
+        solver=args.solver,
+        iterations=args.iterations,
+        operator=operator,
+    )
+    line = (
+        f"{args.solver} x{result.solve.iterations} iterations in "
+        f"{format_seconds(result.solve_seconds)}; final residual "
+        f"{result.solve.residual_norms[-1]:.4g}"
+    )
+    if truth is not None:
+        line += f"; PSNR {psnr(result.image, truth):.2f} dB"
+    print(line)
+    np.savez(args.output, reconstruction=result.image)
+    print(f"saved reconstruction to {args.output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .ordering import make_ordering
+    from .sparse import CSRMatrix, build_buffered
+    from .trace import build_projection_matrix
+
+    spec = get_dataset(args.dataset).scaled(args.scale)
+    g = spec.geometry()
+    print(f"building {spec.name} ({g.sinogram_shape[0]}x{g.sinogram_shape[1]})...")
+    raw = CSRMatrix.from_scipy(build_projection_matrix(g))
+    n = g.grid.n
+    tomo = make_ordering("pseudo-hilbert", n, n, min_tiles=16)
+    sino = make_ordering("pseudo-hilbert", g.num_angles, g.num_channels, min_tiles=16)
+    ordered = raw.permute(sino.perm, tomo.rank).sort_rows_by_index()
+    buffered = build_buffered(ordered, 128, 8192)
+    x = np.random.default_rng(0).random(raw.num_cols).astype(np.float32)
+
+    def best_of(fn, repeats=5):
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn(x)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    rows = [
+        ["CSR baseline", format_seconds(best_of(raw.spmv))],
+        ["pseudo-Hilbert CSR", format_seconds(best_of(ordered.spmv))],
+        ["multi-stage buffered", format_seconds(best_of(buffered.spmv_vectorized))],
+    ]
+    print(render_table(["kernel", "best of 5"], rows,
+                       title=f"forward projection, nnz = {raw.nnz:,}"))
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from .dist import strong_scaling_series, weak_scaling_series
+    from .machine import get_machine
+
+    machine = get_machine(args.machine)
+    spec = get_dataset(args.dataset)
+    if args.mode == "strong":
+        nodes = [args.nodes_start * (2**k) for k in range(args.steps)]
+        points = strong_scaling_series(
+            spec.num_projections, spec.num_channels, machine, nodes
+        )
+    else:
+        points = weak_scaling_series(
+            spec.num_projections, spec.num_channels, machine, args.steps,
+            nodes_start=args.nodes_start,
+        )
+    rows = [p.row() for p in points]
+    print(render_table(
+        ["Nodes", "Sinogram", "Total (s)", "A_p (s)", "C (s)", "R (s)"],
+        rows,
+        title=f"{args.mode} scaling of {args.dataset} on {machine.name} "
+              "(30 CG iterations, modeled)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MemXCT reproduction command-line interface"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list datasets and machine models")
+
+    p = sub.add_parser("preprocess", help="memoize a scan geometry")
+    p.add_argument("--angles", type=int, required=True)
+    p.add_argument("--channels", type=int, required=True)
+    p.add_argument("--ordering", default="pseudo-hilbert")
+    p.add_argument("--kernel", default="buffered", choices=("csr", "buffered", "ell"))
+    p.add_argument("--partition-size", type=int, default=128)
+    p.add_argument("--buffer-kb", type=int, default=8)
+    p.add_argument("--output", "-o", default="operator.npz")
+
+    p = sub.add_parser("reconstruct", help="reconstruct a sinogram")
+    p.add_argument("--sinogram", help=".npz file with a 'sinogram' array")
+    p.add_argument("--demo", choices=sorted(DATASETS), help="synthesize a demo dataset")
+    p.add_argument("--scale", type=float, default=0.125)
+    p.add_argument("--photons", type=float, default=1e5)
+    p.add_argument("--operator", help="operator file from 'preprocess'")
+    p.add_argument("--solver", default="cg", choices=("cg", "sirt", "sgd", "icd", "fbp"))
+    p.add_argument("--iterations", type=int, default=30)
+    p.add_argument("--output", "-o", default="reconstruction.npz")
+
+    p = sub.add_parser("bench", help="time the three kernel levels")
+    p.add_argument("--dataset", default="ADS2", choices=sorted(DATASETS))
+    p.add_argument("--scale", type=float, default=0.25)
+
+    p = sub.add_parser("scale", help="print a modeled scaling curve (Fig. 11)")
+    p.add_argument("--dataset", default="RDS1", choices=sorted(DATASETS))
+    p.add_argument("--machine", default="theta", choices=sorted(MACHINES))
+    p.add_argument("--mode", default="strong", choices=("strong", "weak"))
+    p.add_argument("--nodes-start", type=int, default=32)
+    p.add_argument("--steps", type=int, default=6)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "preprocess": _cmd_preprocess,
+        "reconstruct": _cmd_reconstruct,
+        "bench": _cmd_bench,
+        "scale": _cmd_scale,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

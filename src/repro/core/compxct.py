@@ -1,0 +1,77 @@
+"""CompXCT — the compute-centric baseline (paper Listing 1, Trace-style).
+
+CompXCT never stores the projection matrix: every forward projection
+and every backprojection re-runs Siddon ray tracing to recover the
+intersecting pixel indices and lengths, then immediately consumes them.
+Backprojection is a *scatter* — many rays update the same pixel —
+which forces atomics or domain duplication on parallel hardware; here
+it appears as ``np.add.at``, the (serialized) scatter-accumulate.
+
+This operator is numerically identical to the memoized one (same
+Siddon tracer underneath) so Table 4's per-iteration speedup isolates
+exactly the cost of redundant on-the-fly computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import ParallelBeamGeometry
+from ..trace import trace_angle
+
+__all__ = ["CompXCTOperator"]
+
+
+class CompXCTOperator:
+    """On-the-fly forward/backprojection (no memoization).
+
+    The per-angle traced segments are recomputed on **every** call;
+    ``trace_invocations`` counts how much tracing work has been
+    repeated, which the memory-centric approach performs exactly once.
+    """
+
+    def __init__(self, geometry: ParallelBeamGeometry):
+        self.geometry = geometry
+        self.trace_invocations = 0
+
+    @property
+    def num_rays(self) -> int:
+        return self.geometry.num_rays
+
+    @property
+    def num_pixels(self) -> int:
+        return self.geometry.grid.num_pixels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """``y = A x`` with on-the-fly tracing (gather per ray)."""
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        if x.shape[0] != self.num_pixels:
+            raise ValueError(f"x has {x.shape[0]} entries, expected {self.num_pixels}")
+        y = np.zeros(self.num_rays, dtype=np.float64)
+        for angle_index in range(self.geometry.num_angles):
+            segs = trace_angle(self.geometry, angle_index)
+            self.trace_invocations += 1
+            np.add.at(y, segs.ray_index, segs.length * x[segs.pixel_index])
+        return y
+
+    def adjoint(self, y: np.ndarray) -> np.ndarray:
+        """``x = A^T y`` with on-the-fly tracing (scatter per ray)."""
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if y.shape[0] != self.num_rays:
+            raise ValueError(f"y has {y.shape[0]} entries, expected {self.num_rays}")
+        x = np.zeros(self.num_pixels, dtype=np.float64)
+        for angle_index in range(self.geometry.num_angles):
+            segs = trace_angle(self.geometry, angle_index)
+            self.trace_invocations += 1
+            # The race-prone scatter of compute-centric backprojection:
+            # concurrent rays would collide on shared pixels here.
+            np.add.at(x, segs.pixel_index, segs.length * y[segs.ray_index])
+        return x
+
+    def row_sums(self) -> np.ndarray:
+        """Ray path lengths (for SIRT), recomputed on the fly."""
+        return self.forward(np.ones(self.num_pixels))
+
+    def col_sums(self) -> np.ndarray:
+        """Pixel ray coverage (for SIRT), recomputed on the fly."""
+        return self.adjoint(np.ones(self.num_rays))

@@ -1,0 +1,167 @@
+"""Dataset descriptors (paper Table 3) and footprint calculators.
+
+Six datasets: ADS1-ADS4 are artificial (we synthesize them by
+forward-projecting the Shepp-Logan phantom with Beer-law noise) and
+RDS1/RDS2 come from APS experiments (shale rock / mouse brain — we
+substitute structurally similar phantoms, see DESIGN.md).
+
+Full paper sizes (up to a 4501 x 11283 sinogram) exceed this machine,
+so each descriptor can produce a *scaled* instance that preserves the
+M/N aspect ratio; footprints at full size are computed analytically
+from the measured nnz-per-ray chord constant, which the test suite
+verifies is scale-invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..geometry import ParallelBeamGeometry
+from ..phantoms import beer_law_sinogram, brain_phantom, shale_phantom, shepp_logan
+
+__all__ = ["DatasetSpec", "DATASETS", "get_dataset", "table3_row"]
+
+#: Measured Siddon chord constant for this raster geometry:
+#: ``nnz ~= CHORD * M * N^2`` (each ray of an N-channel projection
+#: intersects ~1.18 N pixels on average).
+CHORD_CONSTANT = 1.18
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One evaluation dataset.
+
+    Attributes
+    ----------
+    name:
+        Paper name (ADS1..ADS4, RDS1, RDS2).
+    num_projections, num_channels:
+        Full-size sinogram dimensions ``M x N``.
+    sample:
+        ``"artificial"``, ``"shale"`` or ``"brain"`` — selects the
+        phantom generator.
+    """
+
+    name: str
+    num_projections: int
+    num_channels: int
+    sample: str
+
+    # -- scaling --------------------------------------------------------
+
+    def scaled(self, factor: float) -> "DatasetSpec":
+        """A geometry-preserving scaled instance (``factor`` <= 1).
+
+        Dimensions are rounded to the nearest multiple of 2 to keep
+        tile coverage sane; the name records the scale.
+        """
+        if not 0 < factor <= 1:
+            raise ValueError(f"scale factor must be in (0, 1], got {factor}")
+        m = max(4, 2 * round(self.num_projections * factor / 2))
+        n = max(4, 2 * round(self.num_channels * factor / 2))
+        return replace(
+            self,
+            name=f"{self.name}@{factor:g}",
+            num_projections=m,
+            num_channels=n,
+        )
+
+    def geometry(self) -> ParallelBeamGeometry:
+        """Parallel-beam geometry of this (possibly scaled) instance."""
+        return ParallelBeamGeometry(self.num_projections, self.num_channels)
+
+    # -- data synthesis ---------------------------------------------------
+
+    def phantom(self, seed: int = 0) -> np.ndarray:
+        """Ground-truth image for this dataset's sample type."""
+        n = self.num_channels
+        if self.sample == "artificial":
+            return shepp_logan(n)
+        if self.sample == "shale":
+            return shale_phantom(n, seed=seed)
+        if self.sample == "brain":
+            return brain_phantom(n, seed=seed)
+        raise ValueError(f"unknown sample type {self.sample!r}")
+
+    def sinogram(
+        self,
+        operator,
+        incident_photons: float = 1e5,
+        seed: int = 0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Synthesize ``(noisy_sinogram, phantom)`` for this dataset.
+
+        ``operator`` must expose ``project_image`` (a
+        :class:`repro.core.operator.MemXCTOperator` built on this
+        dataset's geometry).
+        """
+        truth = self.phantom(seed=seed)
+        clean = operator.project_image(truth)
+        noisy = beer_law_sinogram(clean, incident_photons=incident_photons, seed=seed)
+        return noisy, truth
+
+    # -- footprints (Table 3) -----------------------------------------------
+
+    @property
+    def estimated_nnz(self) -> float:
+        """Analytic nonzero count ``CHORD * M * N^2``."""
+        return CHORD_CONSTANT * self.num_projections * self.num_channels**2
+
+    def irregular_bytes(self) -> tuple[int, int]:
+        """(forward, backprojection) irregular data: the x/y vectors."""
+        tomogram = self.num_channels * self.num_channels * 4
+        sinogram = self.num_projections * self.num_channels * 4
+        return tomogram, sinogram
+
+    def regular_bytes(self, bytes_per_nnz: float = 8.0) -> tuple[float, float]:
+        """(forward, backprojection) regular data: matrix storage.
+
+        Default 8 B/nnz (4 B value + 4 B 32-bit index, paper Table 3's
+        convention); the buffered layout stores 6 B/nnz.
+        """
+        each = self.estimated_nnz * bytes_per_nnz
+        return each, each
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "ADS1": DatasetSpec("ADS1", 360, 256, "artificial"),
+    "ADS2": DatasetSpec("ADS2", 750, 512, "artificial"),
+    "ADS3": DatasetSpec("ADS3", 1500, 1024, "artificial"),
+    "ADS4": DatasetSpec("ADS4", 2400, 2048, "artificial"),
+    "RDS1": DatasetSpec("RDS1", 1501, 2048, "shale"),
+    "RDS2": DatasetSpec("RDS2", 4501, 11283, "brain"),
+}
+
+#: Paper Table 3 reference footprints (bytes), for the benchmark's
+#: paper-vs-computed comparison.
+TABLE3_PAPER = {
+    "ADS1": {"irregular": (256e3, 360e3), "regular": (215e6, 215e6)},
+    "ADS2": {"irregular": (1.0e6, 1.5e6), "regular": (1.8e9, 1.8e9)},
+    "ADS3": {"irregular": (4.0e6, 6.0e6), "regular": (14e9, 14e9)},
+    "ADS4": {"irregular": (16e6, 19e6), "regular": (90e9, 90e9)},
+    "RDS1": {"irregular": (16e6, 12e6), "regular": (56e9, 56e9)},
+    "RDS2": {"irregular": (500e6, 198e6), "regular": (5.1e12, 5.1e12)},
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset descriptor by paper name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}") from None
+
+
+def table3_row(spec: DatasetSpec) -> dict[str, float]:
+    """Computed Table 3 row for a dataset at full size."""
+    irr = spec.irregular_bytes()
+    reg = spec.regular_bytes()
+    return {
+        "sinogram": f"{spec.num_projections}x{spec.num_channels}",
+        "irregular_fwd": irr[0],
+        "irregular_adj": irr[1],
+        "regular_fwd": reg[0],
+        "regular_adj": reg[1],
+    }

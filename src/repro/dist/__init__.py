@@ -1,0 +1,45 @@
+"""Distributed-memory substrate: simulated MPI, both-domain
+decomposition, the A = R C A_p partitioned operator, communication cost
+models, and scaling drivers (paper Section 3.4, Fig. 11)."""
+
+from .comm_model import (
+    allreduce_time,
+    alltoallv_time,
+    alltoallv_time_from_log,
+    memxct_comm_elements,
+    trace_comm_elements,
+)
+from .duplicated import DuplicatedOperator
+from .decomposition import Decomposition, decompose_both, decompose_domain
+from .partitioned import DistributedOperator, RankData
+from .preprocess import distributed_preprocess
+from .scaling import (
+    ScalingPoint,
+    model_preprocessing_time,
+    model_solution_time,
+    strong_scaling_series,
+    weak_scaling_series,
+)
+from .simmpi import CommLog, SimComm
+
+__all__ = [
+    "allreduce_time",
+    "alltoallv_time",
+    "alltoallv_time_from_log",
+    "memxct_comm_elements",
+    "trace_comm_elements",
+    "Decomposition",
+    "DuplicatedOperator",
+    "decompose_both",
+    "decompose_domain",
+    "DistributedOperator",
+    "RankData",
+    "distributed_preprocess",
+    "ScalingPoint",
+    "model_preprocessing_time",
+    "model_solution_time",
+    "strong_scaling_series",
+    "weak_scaling_series",
+    "CommLog",
+    "SimComm",
+]

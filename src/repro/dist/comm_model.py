@@ -1,0 +1,100 @@
+"""Alpha-beta communication cost model with the paper's handshake term.
+
+Paper Section 3.4.3 derives the MemXCT communication complexity
+``O(MN / sqrt(P) + P)``: when the rank count quadruples, the total
+sinogram-overlap footprint doubles (hence ``1/sqrt(P)`` per rank) and
+an extra ``O(sqrt(P))`` handshake term appears per rank because the
+number of interacting neighbours grows with the subdomain perimeter.
+The compute-centric alternative pays ``O(N^2 log P)`` for the
+``Allreduce`` over duplicated tomograms.
+
+This module turns logged or predicted traffic into seconds via the
+standard alpha-beta model, and provides the closed-form complexity
+curves for both approaches (Table 1 / Fig. 11 guide lines).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.specs import MachineSpec
+from .simmpi import CommLog
+
+__all__ = [
+    "alltoallv_time",
+    "alltoallv_time_from_log",
+    "allreduce_time",
+    "memxct_comm_elements",
+    "trace_comm_elements",
+]
+
+
+def alltoallv_time(
+    volume_bytes: np.ndarray,
+    machine: MachineSpec,
+    include_device_transfer: bool = True,
+) -> float:
+    """Seconds for one sparse ``Alltoallv`` given a pairwise byte matrix.
+
+    Per rank: ``alpha * partners + max(sent, received) / beta``; the
+    collective finishes when the slowest rank does.  GPU machines also
+    pay host-device staging of the payload over the PCIe/NVLink link
+    (the paper includes host-device time in its ``C`` kernel numbers).
+    """
+    volume = np.asarray(volume_bytes, dtype=np.float64)
+    if volume.ndim != 2 or volume.shape[0] != volume.shape[1]:
+        raise ValueError(f"volume matrix must be square, got {volume.shape}")
+    remote = volume.copy()
+    np.fill_diagonal(remote, 0.0)
+    sent = remote.sum(axis=1)
+    received = remote.sum(axis=0)
+    partners = ((remote + remote.T) > 0).sum(axis=1)
+    per_rank = machine.net_latency_s * partners + np.maximum(sent, received) / machine.net_bw
+    if include_device_transfer and machine.device.kind == "gpu":
+        per_rank = per_rank + (sent + received) / machine.device.link_bw
+    return float(per_rank.max()) if per_rank.size else 0.0
+
+
+def alltoallv_time_from_log(log: CommLog, machine: MachineSpec) -> float:
+    """Cost of the traffic accumulated in a :class:`CommLog`."""
+    return alltoallv_time(log.volume_bytes, machine)
+
+
+def allreduce_time(num_elements: int, num_ranks: int, machine: MachineSpec) -> float:
+    """Seconds for an ``Allreduce`` of ``num_elements`` float32 values.
+
+    Recursive-doubling model: ``log2(P)`` rounds, each moving the full
+    payload — the ``O(N^2 log P)`` cost of the compute-centric
+    approach's duplicated-domain reduction (paper Table 1).
+    """
+    if num_ranks <= 1:
+        return 0.0
+    rounds = int(np.ceil(np.log2(num_ranks)))
+    payload = 4.0 * num_elements
+    per_round = machine.net_latency_s + payload / machine.net_bw
+    if machine.device.kind == "gpu":
+        per_round += 2.0 * payload / machine.device.link_bw
+    return rounds * per_round
+
+
+def memxct_comm_elements(
+    num_projections: int, num_channels: int, num_ranks: int, overlap_constant: float = 1.0
+) -> float:
+    """Closed-form MemXCT communication volume (elements, total).
+
+    ``O(M N sqrt(P))`` total — i.e. ``O(M N / sqrt(P))`` per rank — per
+    paper Section 3.4.3.  ``overlap_constant`` is fitted from executed
+    decompositions at small ``P`` (see :mod:`repro.dist.scaling`).
+    """
+    return overlap_constant * num_projections * num_channels * np.sqrt(max(num_ranks, 1))
+
+
+def trace_comm_elements(num_channels: int, num_ranks: int) -> float:
+    """Closed-form compute-centric (Trace) communication volume.
+
+    ``O(N^2 log P)``: the duplicated ``N x N`` tomogram is all-reduced
+    each backprojection.
+    """
+    if num_ranks <= 1:
+        return 0.0
+    return num_channels * num_channels * np.log2(num_ranks)

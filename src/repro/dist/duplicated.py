@@ -1,0 +1,102 @@
+"""Domain-duplication distributed baseline (Trace-style).
+
+The compute-centric codes the paper compares against (Trace, paper
+refs [10, 11]) parallelize the other way: sinogram rows are
+partitioned across ranks and the **whole tomogram is duplicated** on
+every rank, because backprojection scatters into it concurrently.
+Each backprojection therefore ends with an ``MPI_Allreduce`` over the
+full duplicated domain — the ``O(N^2 log P)`` communication and
+``O(N^2)`` per-rank memory terms of paper Table 1.
+
+This operator implements that scheme exactly (over the simulated
+communicator, numerically identical to the MemXCT operator) so the
+benchmarks can measure both approaches' traffic on equal footing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import CSRMatrix, scan_transpose
+from .simmpi import SimComm
+
+__all__ = ["DuplicatedOperator"]
+
+
+class DuplicatedOperator:
+    """Sinogram-partitioned, tomogram-duplicated projection operator.
+
+    Vectors are in the same ordered coordinates as the matrix.  Forward
+    projection is embarrassingly parallel (each rank computes its own
+    sinogram rows from its full tomogram replica); backprojection
+    produces one full-size partial tomogram per rank which the
+    allreduce then sums.
+    """
+
+    def __init__(self, matrix: CSRMatrix, num_ranks: int, comm: SimComm | None = None):
+        if num_ranks <= 0:
+            raise ValueError(f"rank count must be positive, got {num_ranks}")
+        self.matrix = matrix
+        self.num_ranks = num_ranks
+        self.comm = comm if comm is not None else SimComm(num_ranks)
+        if self.comm.size != num_ranks:
+            raise ValueError(f"communicator has {self.comm.size} ranks, expected {num_ranks}")
+        # Contiguous sinogram-row ranges per rank.
+        self.row_bounds = np.round(
+            np.linspace(0, matrix.num_rows, num_ranks + 1)
+        ).astype(np.int64)
+        self._row_blocks: list[CSRMatrix] = []
+        self._row_blocks_t: list[CSRMatrix] = []
+        for p in range(num_ranks):
+            r0, r1 = self.row_bounds[p], self.row_bounds[p + 1]
+            rows = np.arange(r0, r1, dtype=np.int64)
+            block = matrix.permute(rows, None)
+            self._row_blocks.append(block)
+            self._row_blocks_t.append(scan_transpose(block))
+
+    @property
+    def num_rays(self) -> int:
+        return self.matrix.num_rows
+
+    @property
+    def num_pixels(self) -> int:
+        return self.matrix.num_cols
+
+    @property
+    def per_rank_memory_elements(self) -> int:
+        """Duplicated-domain memory per rank: the full tomogram."""
+        return self.num_pixels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """``y = A x``: each rank projects its rows from its replica."""
+        x32 = np.asarray(x, dtype=np.float32)
+        if x32.shape[0] != self.num_pixels:
+            raise ValueError(f"x has {x32.shape[0]} entries, expected {self.num_pixels}")
+        pieces = [block.spmv(x32) for block in self._row_blocks]
+        return np.concatenate(pieces)
+
+    def adjoint(self, y: np.ndarray) -> np.ndarray:
+        """``x = A^T y``: per-rank partials reduced over the full domain.
+
+        The allreduce of the ``N^2`` duplicated tomogram is what the
+        paper's Table 1 charges as ``O(N^2 log P)`` communication.
+        """
+        y = np.asarray(y, dtype=np.float32)
+        if y.shape[0] != self.num_rays:
+            raise ValueError(f"y has {y.shape[0]} entries, expected {self.num_rays}")
+        partials = []
+        for p in range(self.num_ranks):
+            r0, r1 = self.row_bounds[p], self.row_bounds[p + 1]
+            partials.append(self._row_blocks_t[p].spmv(y[r0:r1]))
+        return self.comm.allreduce_sum(partials)
+
+    def row_sums(self) -> np.ndarray:
+        return self.matrix.row_sums()
+
+    def col_sums(self) -> np.ndarray:
+        return self.matrix.col_sums()
+
+    def allreduce_bytes_per_backprojection(self) -> int:
+        """Exact traffic one backprojection generates (all ranks)."""
+        per_rank = int(2 * (self.num_ranks - 1) / self.num_ranks * 4 * self.num_pixels)
+        return per_rank * self.num_ranks if self.num_ranks > 1 else 0

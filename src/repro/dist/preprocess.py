@@ -1,0 +1,175 @@
+"""Distributed (MPI-parallel) preprocessing — paper Section 3.5.
+
+The paper's preprocessing "is MPI+OpenMP parallel": ranks trace
+disjoint subsets of the projection angles, then route each traced
+nonzero to the rank that owns its tomogram column, so the *global*
+matrix never materializes on any single node — the property that lets
+per-node memory shrink as 1/P and makes terabyte-scale problems fit.
+
+The pipeline here mirrors that exactly over the simulated
+communicator:
+
+1. every rank runs Siddon tracing for its angle range (angle-parallel,
+   embarrassingly so);
+2. the traced (row, column, length) triplets are exchanged with one
+   ``Alltoallv`` keyed by the tomogram-column owner;
+3. each rank assembles its partial matrix ``A_p``, its scan-based
+   transpose, and the send segments of the communication plan —
+   exactly the :class:`RankData` the runtime operator consumes.
+
+The result is numerically identical to slicing a globally-built matrix
+(verified in tests); the difference is the memory high-water mark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import ParallelBeamGeometry
+from ..ordering import make_ordering
+from ..sparse import CSRMatrix, scan_transpose
+from ..trace import trace_angle
+from .decomposition import decompose_both
+from .partitioned import DistributedOperator, RankData
+from .simmpi import SimComm
+
+__all__ = ["distributed_preprocess"]
+
+
+def _trace_rank_triplets(
+    geometry: ParallelBeamGeometry,
+    angle_range: tuple[int, int],
+    sino_rank: np.ndarray,
+    tomo_rank: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Trace one rank's angles; return ordered-coordinate triplets."""
+    rows, cols, vals = [], [], []
+    for angle_index in range(*angle_range):
+        segs = trace_angle(geometry, angle_index)
+        rows.append(sino_rank[segs.ray_index])
+        cols.append(tomo_rank[segs.pixel_index])
+        vals.append(segs.length.astype(np.float32))
+    if not rows:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty(0, dtype=np.float32)
+    return np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+
+
+def _assemble_rank(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    col_range: tuple[int, int],
+    sino_bounds: np.ndarray,
+    num_ranks: int,
+) -> RankData:
+    """Build one rank's RankData from its received triplets."""
+    local_cols = cols - col_range[0]
+    order = np.lexsort((local_cols, rows))
+    rows = rows[order]
+    local_cols = local_cols[order]
+    vals = vals[order]
+
+    touched, inverse = np.unique(rows, return_inverse=True)
+    num_local_cols = col_range[1] - col_range[0]
+    counts = np.bincount(inverse, minlength=touched.shape[0])
+    displ = np.zeros(touched.shape[0] + 1, dtype=np.int64)
+    np.cumsum(counts, out=displ[1:])
+    partial = CSRMatrix(
+        displ=displ,
+        ind=local_cols.astype(np.int32),
+        val=vals,
+        num_cols=num_local_cols,
+    )
+    # Duplicate (row, col) entries from corner-grazing rays were summed
+    # by the serial builder; replicate by collapsing via scipy.
+    scipy_partial = partial.to_scipy()
+    scipy_partial.sum_duplicates()
+    partial = CSRMatrix.from_scipy(scipy_partial)
+
+    cuts = np.searchsorted(touched, sino_bounds)
+    segments = [(int(cuts[q]), int(cuts[q + 1])) for q in range(num_ranks)]
+    return RankData(
+        partial_matrix=partial,
+        partial_transpose=scan_transpose(partial),
+        touched_rows=touched,
+        send_segments=segments,
+    )
+
+
+def distributed_preprocess(
+    geometry: ParallelBeamGeometry,
+    num_ranks: int,
+    ordering: str = "pseudo-hilbert",
+    min_tiles: int = 16,
+    comm: SimComm | None = None,
+) -> DistributedOperator:
+    """Preprocess in parallel across simulated ranks.
+
+    Returns a ready :class:`DistributedOperator` whose per-rank data
+    was built without ever holding the full matrix: rank ``r`` traces
+    angles ``[r*M/P, (r+1)*M/P)`` and ships each nonzero to its
+    tomogram-column owner.
+    """
+    if num_ranks <= 0:
+        raise ValueError(f"rank count must be positive, got {num_ranks}")
+    comm = comm if comm is not None else SimComm(num_ranks)
+    if comm.size != num_ranks:
+        raise ValueError(f"communicator has {comm.size} ranks, expected {num_ranks}")
+
+    n = geometry.grid.n
+    tomo_ordering = make_ordering(ordering, n, n, min_tiles=min_tiles)
+    sino_ordering = make_ordering(
+        ordering, geometry.num_angles, geometry.num_channels, min_tiles=min_tiles
+    )
+    tomo_dec, sino_dec = decompose_both(tomo_ordering, sino_ordering, num_ranks)
+
+    # Step 1+2: angle-parallel tracing, then triplet exchange by column
+    # owner.  The three parallel Alltoallv calls model one exchange of
+    # a (row, col, val) struct stream.
+    angle_cuts = np.round(np.linspace(0, geometry.num_angles, num_ranks + 1)).astype(int)
+    send_rows: list[list[np.ndarray]] = []
+    send_cols: list[list[np.ndarray]] = []
+    send_vals: list[list[np.ndarray]] = []
+    for r in range(num_ranks):
+        rows, cols, vals = _trace_rank_triplets(
+            geometry,
+            (int(angle_cuts[r]), int(angle_cuts[r + 1])),
+            sino_ordering.rank,
+            tomo_ordering.rank,
+        )
+        owners = tomo_dec.owner_of(cols)
+        order = np.argsort(owners, kind="stable")
+        rows, cols, vals, owners = rows[order], cols[order], vals[order], owners[order]
+        cuts = np.searchsorted(owners, np.arange(num_ranks + 1))
+        send_rows.append([rows[cuts[q] : cuts[q + 1]] for q in range(num_ranks)])
+        send_cols.append([cols[cuts[q] : cuts[q + 1]] for q in range(num_ranks)])
+        send_vals.append([vals[cuts[q] : cuts[q + 1]] for q in range(num_ranks)])
+    recv_rows = comm.alltoallv(send_rows)
+    recv_cols = comm.alltoallv(send_cols)
+    recv_vals = comm.alltoallv(send_vals)
+
+    # Step 3: per-rank assembly.
+    rank_data = []
+    for p in range(num_ranks):
+        rows = np.concatenate(recv_rows[p]) if recv_rows[p] else np.empty(0, np.int64)
+        cols = np.concatenate(recv_cols[p]) if recv_cols[p] else np.empty(0, np.int64)
+        vals = np.concatenate(recv_vals[p]) if recv_vals[p] else np.empty(0, np.float32)
+        rank_data.append(
+            _assemble_rank(
+                rows,
+                cols,
+                vals,
+                (int(tomo_dec.bounds[p]), int(tomo_dec.bounds[p + 1])),
+                sino_dec.bounds,
+                num_ranks,
+            )
+        )
+
+    return DistributedOperator(
+        matrix=None,
+        tomo_dec=tomo_dec,
+        sino_dec=sino_dec,
+        comm=comm,
+        rank_data=rank_data,
+    )

@@ -1,0 +1,224 @@
+"""Scaling experiment driver (paper Fig. 11, Tables 5 and 7).
+
+Two ingredients:
+
+* **measured structure** — for rank counts that fit on this machine, we
+  actually build the decomposition and the distributed operator at a
+  scaled-down geometry and *measure* the communication footprint.
+  Fitting ``total elements = c * M * N * sqrt(P)`` across executed rank
+  counts validates the paper's ``O(MN sqrt(P))`` law and produces the
+  overlap constant ``c``;
+* **closed-form model** — the per-kernel times ``A_p`` (performance
+  model on per-rank sub-matrices, including whether the per-rank
+  regular data fits MCDRAM — the source of the paper's super-linear
+  speedups), ``C`` (alpha-beta with the ``O(sqrt(P))`` handshake term)
+  and ``R`` (reduction traffic at memory bandwidth), composed over the
+  solver's iterations.
+
+The benches plot both, so the shapes of Fig. 11 (weak scaling flat
+except ``C ~ sqrt(P)``; strong scaling ``~ 1/P`` until communication
+dominates) come out of the same mechanics the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.perf_model import KernelProfile, PerformanceModel
+from ..machine.specs import MachineSpec
+from ..utils.metrics import REGULAR_BYTES_BUFFERED, REGULAR_BYTES_CSR
+
+__all__ = [
+    "ScalingPoint",
+    "model_solution_time",
+    "weak_scaling_series",
+    "strong_scaling_series",
+    "model_preprocessing_time",
+]
+
+#: Default Siddon chord constant: nnz ~= chord * M * N^2 (measured
+#: ~1.18 for the raster geometry; verified across scales in tests).
+DEFAULT_CHORD_CONSTANT = 1.18
+
+#: Ray-tracing + matrix-construction throughput of the (C/OpenMP)
+#: preprocessing, seconds per nonzero per node.  Single-point
+#: calibration against paper Table 5 (139 s for RDS1 on one KNL node);
+#: the *scaling* of preprocessing across nodes is model output.
+PREPROC_SECONDS_PER_NNZ = 19e-9
+
+#: Per-rank interacting-neighbour count ~= HANDSHAKE_CONSTANT * sqrt(P)
+#: (subdomain perimeter effect; measured from executed decompositions).
+DEFAULT_HANDSHAKE_CONSTANT = 4.0
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling curve: per-solution kernel times (s)."""
+
+    num_nodes: int
+    num_projections: int
+    num_channels: int
+    ap_seconds: float
+    comm_seconds: float
+    reduction_seconds: float
+    iterations: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.ap_seconds + self.comm_seconds + self.reduction_seconds
+
+    def row(self) -> tuple:
+        return (
+            self.num_nodes,
+            f"{self.num_projections}x{self.num_channels}",
+            round(self.total_seconds, 4),
+            round(self.ap_seconds, 4),
+            round(self.comm_seconds, 4),
+            round(self.reduction_seconds, 4),
+        )
+
+
+def model_solution_time(
+    num_projections: int,
+    num_channels: int,
+    machine: MachineSpec,
+    num_nodes: int,
+    iterations: int = 30,
+    overlap_constant: float = 1.0,
+    chord_constant: float = DEFAULT_CHORD_CONSTANT,
+    handshake_constant: float = DEFAULT_HANDSHAKE_CONSTANT,
+    optimization: str = "buffered",
+    miss_rate: float = 0.05,
+) -> ScalingPoint:
+    """Model a full iterative solution (paper's 30-CG-iteration runs).
+
+    Each iteration performs one forward and one backprojection, each
+    consisting of ``A_p`` + ``C`` + ``R``.
+
+    Parameters
+    ----------
+    overlap_constant:
+        Fitted ``c`` in ``comm elements = c * M * N * sqrt(P)``.
+    optimization:
+        ``"buffered"`` (full MemXCT) or ``"csr"`` (Hilbert-ordered
+        baseline) — selects regular bytes/FMA and latency exposure.
+    miss_rate:
+        Cache-simulated L2 miss rate of the irregular stream.
+    """
+    ranks = num_nodes * machine.devices_per_node
+    nnz_total = chord_constant * num_projections * num_channels * num_channels
+    nnz_per_rank = nnz_total / ranks
+
+    if optimization == "buffered":
+        bytes_per_fma = REGULAR_BYTES_BUFFERED
+        profile = KernelProfile.buffered(
+            nnz=int(nnz_per_rank),
+            map_length=int(nnz_per_rank / 40),  # typical reuse ~40-65 (Fig. 6a)
+            miss_rate=miss_rate,
+            regular_data_bytes=nnz_per_rank * REGULAR_BYTES_BUFFERED,
+        )
+    elif optimization == "csr":
+        bytes_per_fma = REGULAR_BYTES_CSR
+        profile = KernelProfile.csr_baseline(
+            nnz=int(nnz_per_rank),
+            miss_rate=miss_rate,
+            regular_data_bytes=nnz_per_rank * REGULAR_BYTES_CSR,
+        )
+    else:
+        raise ValueError(f"unknown optimization {optimization!r}")
+    del bytes_per_fma
+
+    model = PerformanceModel(machine.device)
+    ap = model.projection_time(profile, smt=machine.device.max_smt)
+
+    # C: per-rank payload O(MN / sqrt(P)), O(sqrt(P)) handshakes with
+    # actual partners, plus the Alltoallv posting cost O(P) — Table 1's
+    # "MN/sqrt(P) + P" communication complexity.
+    comm_elements_total = (
+        overlap_constant * num_projections * num_channels * np.sqrt(ranks)
+    )
+    payload_per_rank = 4.0 * comm_elements_total / ranks
+    partners = min(handshake_constant * np.sqrt(ranks), max(ranks - 1, 0))
+    posting = 0.2 * machine.net_latency_s * ranks
+    comm = machine.net_latency_s * partners + posting + payload_per_rank / machine.net_bw
+    if machine.device.kind == "gpu":
+        comm += 2.0 * payload_per_rank / machine.device.link_bw
+    if ranks == 1:
+        comm = 0.0
+
+    # R: the owner streams the received partials through memory once.
+    reduction_bytes = 2.0 * payload_per_rank  # read partial + update owner copy
+    red = reduction_bytes / model.effective_bandwidth(reduction_bytes) if ranks > 1 else 0.0
+
+    per_projection = ap + comm + red
+    scale = 2.0 * iterations  # forward + backprojection per iteration
+    return ScalingPoint(
+        num_nodes=num_nodes,
+        num_projections=num_projections,
+        num_channels=num_channels,
+        ap_seconds=ap * scale,
+        comm_seconds=comm * scale,
+        reduction_seconds=red * scale,
+        iterations=iterations,
+    )
+
+
+def weak_scaling_series(
+    root_projections: int,
+    root_channels: int,
+    machine: MachineSpec,
+    steps: int,
+    nodes_start: int = 1,
+    **model_kwargs,
+) -> list[ScalingPoint]:
+    """Weak scaling: each step doubles M and N and multiplies nodes by 8.
+
+    Cost grows as ``M N^2`` (x8 per step), so work per node is constant
+    — paper Section 4.3.1's protocol for Fig. 11(a)-(b).
+    """
+    points = []
+    for step in range(steps):
+        points.append(
+            model_solution_time(
+                root_projections << step,
+                root_channels << step,
+                machine,
+                nodes_start * (8**step),
+                **model_kwargs,
+            )
+        )
+    return points
+
+
+def strong_scaling_series(
+    num_projections: int,
+    num_channels: int,
+    machine: MachineSpec,
+    node_counts: list[int],
+    **model_kwargs,
+) -> list[ScalingPoint]:
+    """Strong scaling: fixed dataset, doubling node counts (Fig. 11(c)-(d))."""
+    return [
+        model_solution_time(num_projections, num_channels, machine, nodes, **model_kwargs)
+        for nodes in node_counts
+    ]
+
+
+def model_preprocessing_time(
+    num_projections: int,
+    num_channels: int,
+    num_nodes: int,
+    chord_constant: float = DEFAULT_CHORD_CONSTANT,
+    serial_fraction: float = 0.002,
+) -> float:
+    """Model the 4-step preprocessing (Section 3.5) on ``num_nodes`` nodes.
+
+    Ray tracing / transposition / buffer construction parallelize over
+    ranks; a small serial fraction (ordering construction, global
+    prefix sums) bounds the speedup, Amdahl-style.
+    """
+    nnz = chord_constant * num_projections * num_channels * num_channels
+    base = nnz * PREPROC_SECONDS_PER_NNZ
+    return base * (serial_fraction + (1.0 - serial_fraction) / num_nodes)

@@ -1,0 +1,125 @@
+"""Simulated MPI communicator.
+
+mpi4py is not available in this environment (and benchmarking 4096
+real ranks on one core would be meaningless anyway), so the
+distributed layer runs all ranks **sequentially in-process** against a
+:class:`SimComm` that implements the two collectives MemXCT needs —
+``Alltoallv`` (sparse both-domain exchange, paper Section 3.4.1) and
+``Allreduce`` (what the compute-centric domain-duplication approach
+must do instead).  Data movement is numerically exact — identical to a
+real MPI run — and every byte is logged so the communication matrices
+(paper Fig. 7) and cost models are driven by real traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CommLog", "SimComm"]
+
+
+@dataclass
+class CommLog:
+    """Accumulated traffic of a simulated communicator.
+
+    ``volume_bytes[p, q]`` is the total payload rank ``p`` sent to rank
+    ``q``; ``message_counts[p, q]`` the number of nonempty messages.
+    Self-sends (``p == q``) are local copies and logged separately so
+    cost models can exclude them.
+    """
+
+    size: int
+    volume_bytes: np.ndarray = field(default=None)  # type: ignore[assignment]
+    message_counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+    collective_calls: int = 0
+
+    def __post_init__(self) -> None:
+        if self.volume_bytes is None:
+            self.volume_bytes = np.zeros((self.size, self.size), dtype=np.int64)
+        if self.message_counts is None:
+            self.message_counts = np.zeros((self.size, self.size), dtype=np.int64)
+
+    def off_diagonal_volume(self) -> int:
+        """Total bytes that actually crossed the (simulated) network."""
+        return int(self.volume_bytes.sum() - np.trace(self.volume_bytes))
+
+    def partners_per_rank(self) -> np.ndarray:
+        """Distinct remote peers each rank exchanged data with."""
+        remote = self.message_counts.copy()
+        np.fill_diagonal(remote, 0)
+        return ((remote + remote.T) > 0).sum(axis=1)
+
+    def send_bytes_per_rank(self) -> np.ndarray:
+        """Outgoing remote bytes per rank (paper Fig. 7(e))."""
+        remote = self.volume_bytes.copy()
+        np.fill_diagonal(remote, 0)
+        return remote.sum(axis=1)
+
+    def recv_bytes_per_rank(self) -> np.ndarray:
+        """Incoming remote bytes per rank (paper Fig. 7(e))."""
+        remote = self.volume_bytes.copy()
+        np.fill_diagonal(remote, 0)
+        return remote.sum(axis=0)
+
+
+class SimComm:
+    """A P-rank communicator executed sequentially in one process."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ValueError(f"communicator size must be positive, got {size}")
+        self.size = size
+        self.log = CommLog(size)
+
+    def reset_log(self) -> None:
+        """Zero the traffic counters (e.g. between forward and back passes)."""
+        self.log = CommLog(self.size)
+
+    def alltoallv(self, send: list[list[np.ndarray]]) -> list[list[np.ndarray]]:
+        """Sparse all-to-all of numpy arrays.
+
+        ``send[p][q]`` is the array rank ``p`` sends to rank ``q``
+        (possibly empty).  Returns ``recv`` with ``recv[q][p] ==
+        send[p][q]``.  Arrays are not copied — sequential simulated
+        ranks may alias safely because each rank's compute phase
+        finishes before the exchange.
+        """
+        if len(send) != self.size or any(len(row) != self.size for row in send):
+            raise ValueError(f"send matrix must be {self.size} x {self.size}")
+        self.log.collective_calls += 1
+        for p in range(self.size):
+            for q in range(self.size):
+                buf = send[p][q]
+                nbytes = int(np.asarray(buf).nbytes)
+                if nbytes:
+                    self.log.volume_bytes[p, q] += nbytes
+                    self.log.message_counts[p, q] += 1
+        return [[send[p][q] for p in range(self.size)] for q in range(self.size)]
+
+    def allreduce_sum(self, contributions: list[np.ndarray]) -> np.ndarray:
+        """Sum-reduction of one equal-shaped array per rank.
+
+        Models the compute-centric approach's ``MPI_Allreduce`` over
+        duplicated tomogram domains; traffic is logged with the
+        recursive-halving volume ``2 * (P-1)/P * bytes`` per rank.
+        """
+        if len(contributions) != self.size:
+            raise ValueError(f"expected {self.size} contributions")
+        shapes = {np.asarray(c).shape for c in contributions}
+        if len(shapes) != 1:
+            raise ValueError(f"contributions must share a shape, got {shapes}")
+        self.log.collective_calls += 1
+        total = np.zeros_like(np.asarray(contributions[0], dtype=np.float64))
+        for c in contributions:
+            total += np.asarray(c, dtype=np.float64)
+        per_rank_bytes = int(
+            2 * (self.size - 1) / self.size * np.asarray(contributions[0]).nbytes
+        )
+        for p in range(self.size):
+            q = (p + 1) % self.size  # ring-neighbour attribution for logging
+            if p != q:
+                self.log.volume_bytes[p, q] += per_rank_bytes
+                self.log.message_counts[p, q] += 1
+        return total

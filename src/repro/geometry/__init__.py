@@ -1,0 +1,7 @@
+"""Scan geometry: pixel grids, parallel-beam and fan-beam layouts."""
+
+from .fan_beam import FanBeamGeometry
+from .grid import Grid2D
+from .parallel_beam import ParallelBeamGeometry, Ray
+
+__all__ = ["FanBeamGeometry", "Grid2D", "ParallelBeamGeometry", "Ray"]

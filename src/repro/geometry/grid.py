@@ -1,0 +1,94 @@
+"""Pixel grid describing the tomogram (reconstruction) domain.
+
+MemXCT reconstructs a square ``N x N`` tomogram from a sinogram with
+``M`` projection angles and ``N`` detector channels.  The grid maps
+integer pixel coordinates to physical coordinates used by the ray
+tracer.  Physical units are chosen so that one pixel has unit side
+length; the grid is centred on the origin, which coincides with the
+rotation axis of the scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Grid2D"]
+
+
+@dataclass(frozen=True)
+class Grid2D:
+    """A square 2D pixel grid centred on the rotation axis.
+
+    Parameters
+    ----------
+    n:
+        Number of pixels along each side.  The grid covers the physical
+        square ``[-n/2, n/2] x [-n/2, n/2]``.
+    pixel_size:
+        Physical side length of one pixel (default 1.0).  Intersection
+        lengths returned by the ray tracer scale linearly with it.
+    """
+
+    n: int
+    pixel_size: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"grid size must be positive, got {self.n}")
+        if self.pixel_size <= 0:
+            raise ValueError(f"pixel size must be positive, got {self.pixel_size}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Array shape ``(rows, cols)`` of the tomogram."""
+        return (self.n, self.n)
+
+    @property
+    def num_pixels(self) -> int:
+        """Total pixel count ``n * n``."""
+        return self.n * self.n
+
+    @property
+    def extent(self) -> float:
+        """Physical side length of the grid."""
+        return self.n * self.pixel_size
+
+    @property
+    def half_extent(self) -> float:
+        """Physical distance from centre to an edge."""
+        return 0.5 * self.extent
+
+    def x_planes(self) -> np.ndarray:
+        """Physical x coordinates of the ``n + 1`` vertical grid lines."""
+        return (np.arange(self.n + 1) - self.n / 2.0) * self.pixel_size
+
+    def y_planes(self) -> np.ndarray:
+        """Physical y coordinates of the ``n + 1`` horizontal grid lines."""
+        return self.x_planes()
+
+    def pixel_index(self, ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+        """Row-major flat index of pixel column ``ix``, row ``iy``.
+
+        ``iy`` indexes rows from the bottom of the physical domain so
+        that ``tomogram.reshape(n, n)[iy, ix]`` addresses the pixel whose
+        lower-left corner is at ``(x_planes()[ix], y_planes()[iy])``.
+        """
+        return np.asarray(iy) * self.n + np.asarray(ix)
+
+    def contains(self, ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+        """Boolean mask of pixel coordinates inside the grid."""
+        ix = np.asarray(ix)
+        iy = np.asarray(iy)
+        return (ix >= 0) & (ix < self.n) & (iy >= 0) & (iy < self.n)
+
+    def pixel_centers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Physical ``(x, y)`` centre coordinates of all pixels.
+
+        Returns two arrays of shape ``(n, n)`` in row-major pixel order
+        (row index = y, column index = x).
+        """
+        c = (np.arange(self.n) - self.n / 2.0 + 0.5) * self.pixel_size
+        x, y = np.meshgrid(c, c, indexing="xy")
+        return x, y

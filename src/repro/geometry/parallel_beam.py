@@ -1,0 +1,130 @@
+"""Parallel-beam scan geometry.
+
+A parallel-beam XCT scan measures line integrals of the attenuation
+field along parallel rays.  A sinogram has ``M`` rows (projection
+angles theta) and ``N`` columns (detector channels).  Channel ``k`` of
+projection ``j`` corresponds to the ray
+
+    p(t) = o_k + t * d_j
+
+where ``d_j = (-sin(theta_j), cos(theta_j))`` is the ray direction and
+``o_k`` lies on the detector axis ``(cos(theta_j), sin(theta_j))`` at a
+signed offset ``s_k`` from the rotation axis.  Detector channels span
+the full tomogram width, matching the raster-scan geometry of the
+paper's datasets (Table 3: sinogram ``M x N`` pairs with an ``N x N``
+tomogram).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .grid import Grid2D
+
+__all__ = ["ParallelBeamGeometry", "Ray"]
+
+
+@dataclass(frozen=True)
+class Ray:
+    """A single measurement ray: origin point and unit direction."""
+
+    origin: tuple[float, float]
+    direction: tuple[float, float]
+    angle_index: int
+    channel_index: int
+
+
+@dataclass(frozen=True)
+class ParallelBeamGeometry:
+    """Parallel-beam geometry for an ``M x N`` sinogram on an ``N x N`` grid.
+
+    Parameters
+    ----------
+    num_angles:
+        Number of projection angles ``M``, spread uniformly over
+        ``[0, angle_range)``.
+    num_channels:
+        Number of detector channels ``N`` per projection.
+    grid:
+        Tomogram pixel grid.  Defaults to an ``N x N`` unit-pixel grid.
+    angle_range:
+        Angular coverage in radians; pi (half turn) is the standard
+        parallel-beam scan since opposite rays are redundant.
+    """
+
+    num_angles: int
+    num_channels: int
+    grid: Grid2D = field(default=None)  # type: ignore[assignment]
+    angle_range: float = np.pi
+
+    def __post_init__(self) -> None:
+        if self.num_angles <= 0 or self.num_channels <= 0:
+            raise ValueError(
+                f"geometry must be non-empty, got {self.num_angles} x {self.num_channels}"
+            )
+        if self.grid is None:
+            object.__setattr__(self, "grid", Grid2D(self.num_channels))
+
+    @property
+    def sinogram_shape(self) -> tuple[int, int]:
+        """Sinogram array shape ``(M, N)``."""
+        return (self.num_angles, self.num_channels)
+
+    @property
+    def num_rays(self) -> int:
+        """Total ray count ``M * N``."""
+        return self.num_angles * self.num_channels
+
+    def angles(self) -> np.ndarray:
+        """Projection angles in radians, shape ``(M,)``."""
+        return np.arange(self.num_angles) * (self.angle_range / self.num_angles)
+
+    def channel_offsets(self) -> np.ndarray:
+        """Signed physical detector offsets ``s_k``, shape ``(N,)``.
+
+        Channels are centred on the rotation axis and spaced one pixel
+        apart, covering the tomogram width exactly.
+        """
+        n = self.num_channels
+        return (np.arange(n) - n / 2.0 + 0.5) * self.grid.pixel_size
+
+    def ray_directions(self) -> np.ndarray:
+        """Unit ray directions per angle, shape ``(M, 2)``."""
+        theta = self.angles()
+        return np.stack([-np.sin(theta), np.cos(theta)], axis=1)
+
+    def detector_axes(self) -> np.ndarray:
+        """Unit detector-axis directions per angle, shape ``(M, 2)``."""
+        theta = self.angles()
+        return np.stack([np.cos(theta), np.sin(theta)], axis=1)
+
+    def ray_origins(self, angle_index: int) -> np.ndarray:
+        """Physical origins of all channels of one projection, shape ``(N, 2)``.
+
+        Origins sit on the detector axis through the rotation centre;
+        since rays are infinite lines, any point on the ray serves.
+        """
+        axis = self.detector_axes()[angle_index]
+        s = self.channel_offsets()
+        return s[:, None] * axis[None, :]
+
+    def ray(self, angle_index: int, channel_index: int) -> Ray:
+        """Construct the :class:`Ray` for one sinogram entry."""
+        if not 0 <= angle_index < self.num_angles:
+            raise IndexError(f"angle index {angle_index} out of range")
+        if not 0 <= channel_index < self.num_channels:
+            raise IndexError(f"channel index {channel_index} out of range")
+        o = self.ray_origins(angle_index)[channel_index]
+        d = self.ray_directions()[angle_index]
+        return Ray(
+            origin=(float(o[0]), float(o[1])),
+            direction=(float(d[0]), float(d[1])),
+            angle_index=angle_index,
+            channel_index=channel_index,
+        )
+
+    def ray_index(self, angle_index: np.ndarray, channel_index: np.ndarray) -> np.ndarray:
+        """Row-major flat sinogram index of ``(angle, channel)`` pairs."""
+        return np.asarray(angle_index) * self.num_channels + np.asarray(channel_index)

@@ -1,0 +1,113 @@
+"""Saving and loading preprocessed operators.
+
+Preprocessing is the expensive step (paper Table 4/5); persisting its
+product lets a beamline workflow preprocess once per scan geometry and
+reconstruct thousands of slices across separate processes.  Operators
+are stored as a single ``.npz`` holding the geometry, both orderings,
+the ordered matrix, and the kernel configuration; the transpose and
+buffered layouts are rebuilt on load (cheap relative to tracing, and
+keeping the file format minimal).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .core import MemXCTOperator, OperatorConfig
+from .geometry import Grid2D, ParallelBeamGeometry
+from .ordering import DomainOrdering
+from .sparse import CSRMatrix, build_buffered, build_ell, scan_transpose
+
+__all__ = ["save_operator", "load_operator"]
+
+_FORMAT_VERSION = 1
+
+
+def save_operator(path: str | Path, operator: MemXCTOperator) -> None:
+    """Serialize a preprocessed operator to ``path`` (.npz)."""
+    g = operator.geometry
+    np.savez_compressed(
+        path,
+        format_version=_FORMAT_VERSION,
+        num_angles=g.num_angles,
+        num_channels=g.num_channels,
+        angle_range=g.angle_range,
+        pixel_size=g.grid.pixel_size,
+        grid_n=g.grid.n,
+        tomo_name=operator.tomo_ordering.name,
+        tomo_perm=operator.tomo_ordering.perm,
+        sino_name=operator.sino_ordering.name,
+        sino_perm=operator.sino_ordering.perm,
+        displ=operator.matrix.displ,
+        ind=operator.matrix.ind,
+        val=operator.matrix.val,
+        kernel=operator.config.kernel,
+        partition_size=operator.config.partition_size,
+        buffer_bytes=operator.config.buffer_bytes,
+    )
+
+
+def _ordering_from_arrays(name: str, rows: int, cols: int, perm: np.ndarray) -> DomainOrdering:
+    rank = np.empty_like(perm)
+    rank[perm] = np.arange(perm.shape[0], dtype=np.int64)
+    return DomainOrdering(str(name), rows, cols, perm.astype(np.int64), rank)
+
+
+def load_operator(path: str | Path) -> MemXCTOperator:
+    """Load an operator saved by :func:`save_operator`.
+
+    The scan-based transpose and the configured kernel layout are
+    rebuilt deterministically from the stored matrix.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported operator file version {version} (expected {_FORMAT_VERSION})"
+            )
+        grid = Grid2D(int(data["grid_n"]), float(data["pixel_size"]))
+        geometry = ParallelBeamGeometry(
+            int(data["num_angles"]),
+            int(data["num_channels"]),
+            grid=grid,
+            angle_range=float(data["angle_range"]),
+        )
+        n = grid.n
+        tomo = _ordering_from_arrays(data["tomo_name"][()], n, n, data["tomo_perm"])
+        sino = _ordering_from_arrays(
+            data["sino_name"][()], geometry.num_angles, geometry.num_channels,
+            data["sino_perm"],
+        )
+        matrix = CSRMatrix(
+            displ=data["displ"], ind=data["ind"], val=data["val"],
+            num_cols=grid.n * grid.n,
+        )
+        config = OperatorConfig(
+            kernel=str(data["kernel"][()]),
+            partition_size=int(data["partition_size"]),
+            buffer_bytes=int(data["buffer_bytes"]),
+        )
+
+    transpose = scan_transpose(matrix)
+    buffered_forward = buffered_adjoint = None
+    ell_forward = ell_adjoint = None
+    if config.kernel == "buffered":
+        buffered_forward = build_buffered(matrix, config.partition_size, config.buffer_bytes)
+        buffered_adjoint = build_buffered(transpose, config.partition_size, config.buffer_bytes)
+    elif config.kernel == "ell":
+        ell_forward = build_ell(matrix, config.partition_size)
+        ell_adjoint = build_ell(transpose, config.partition_size)
+    return MemXCTOperator(
+        geometry=geometry,
+        tomo_ordering=tomo,
+        sino_ordering=sino,
+        matrix=matrix,
+        transpose=transpose,
+        config=config,
+        buffered_forward=buffered_forward,
+        buffered_adjoint=buffered_adjoint,
+        ell_forward=ell_forward,
+        ell_adjoint=ell_adjoint,
+    )

@@ -1,0 +1,28 @@
+"""Machine models: device/cluster specs (paper Table 2), the SpMV
+performance model, and tuning-space sweeps (paper Fig. 10)."""
+
+from .perf_model import KernelProfile, PerformanceModel
+from .specs import DEVICES, MACHINES, DeviceSpec, MachineSpec, get_device, get_machine
+from .tuning import (
+    TuningPoint,
+    best_configuration,
+    evaluate_configuration,
+    heatmap,
+    sweep_tuning,
+)
+
+__all__ = [
+    "KernelProfile",
+    "PerformanceModel",
+    "DEVICES",
+    "MACHINES",
+    "DeviceSpec",
+    "MachineSpec",
+    "get_device",
+    "get_machine",
+    "TuningPoint",
+    "best_configuration",
+    "evaluate_configuration",
+    "heatmap",
+    "sweep_tuning",
+]

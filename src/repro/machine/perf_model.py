@@ -1,0 +1,177 @@
+"""Analytic performance model for the SpMV projection kernels.
+
+The paper explains every single-device result (Figs. 9/10, Tables 6/7)
+with three quantities: the *regular* stream bandwidth (``ind``/``val``
+arrays, 8 B per FMA for CSR or 6 B for the 16-bit buffered layout), the
+*irregular* gather behaviour (L2 miss rate — measured here with the
+cache simulator — times line size), and the exposed *latency* of those
+misses when too few are in flight.  This module composes exactly those
+terms into a projection-time prediction:
+
+``time = max(bandwidth_time, latency_time)``
+
+* ``bandwidth_time`` — all memory traffic (regular + missed lines +
+  staging map reads) divided by the achievable stream bandwidth of
+  whichever memory holds the data (KNL: MCDRAM when the regular data
+  fits, DDR otherwise, with proportional blending in between — the
+  Fig. 9 ADS3 partial-caching case);
+* ``latency_time`` — misses divided by the device's sustainable
+  memory-level parallelism.  Buffered kernels stage sequentially and
+  stream, so their latency is hidden; the CSR baseline on KNL exposes
+  it, which is why baseline GFLOPS *fall* with dataset size while GPU
+  baselines do not (massive thread-level parallelism), exactly the
+  paper's Section 4.2.1 observation.
+
+This is a model, not a measurement: EXPERIMENTS.md reports predicted
+versus paper values and how the shapes compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.metrics import REGULAR_BYTES_BUFFERED, REGULAR_BYTES_CSR
+from .specs import DeviceSpec
+
+__all__ = ["KernelProfile", "PerformanceModel"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Measured structure of one SpMV kernel execution.
+
+    All quantities are measurable from the built data structures plus a
+    cache simulation; nothing here requires the target hardware.
+
+    Attributes
+    ----------
+    nnz:
+        Nonzeros (2 FLOPs each).
+    irregular_accesses:
+        Gather count that reaches the memory hierarchy: ``nnz`` for the
+        CSR kernels, the ``map`` length for the buffered kernel.
+    miss_rate:
+        L2 miss rate of the irregular stream (cache-simulated).
+    regular_bytes_per_fma:
+        8.0 (32-bit CSR / ELL) or 6.0 (16-bit buffered).
+    staging_bytes:
+        Extra regular traffic of the buffered kernel: the ``map`` index
+        reads plus buffer fills; zero otherwise.
+    regular_data_bytes:
+        Total regular data (matrix) size — decides which memory level
+        holds it on KNL.
+    latency_bound:
+        Whether gather latency is exposed (CSR baseline) or hidden by
+        explicit staging (buffered kernel).
+    """
+
+    nnz: int
+    irregular_accesses: int
+    miss_rate: float
+    regular_bytes_per_fma: float = REGULAR_BYTES_CSR
+    staging_bytes: float = 0.0
+    regular_data_bytes: float = 0.0
+    latency_bound: bool = True
+
+    def __post_init__(self) -> None:
+        if self.nnz < 0 or self.irregular_accesses < 0:
+            raise ValueError("counts must be non-negative")
+        if not 0.0 <= self.miss_rate <= 1.0:
+            raise ValueError(f"miss rate must be in [0, 1], got {self.miss_rate}")
+
+    @classmethod
+    def csr_baseline(
+        cls, nnz: int, miss_rate: float, regular_data_bytes: float = 0.0
+    ) -> "KernelProfile":
+        """Profile of the Listing-2 CSR kernel (baseline or Hilbert)."""
+        return cls(
+            nnz=nnz,
+            irregular_accesses=nnz,
+            miss_rate=miss_rate,
+            regular_bytes_per_fma=REGULAR_BYTES_CSR,
+            regular_data_bytes=regular_data_bytes or nnz * REGULAR_BYTES_CSR,
+            latency_bound=True,
+        )
+
+    @classmethod
+    def buffered(
+        cls,
+        nnz: int,
+        map_length: int,
+        miss_rate: float,
+        regular_data_bytes: float = 0.0,
+    ) -> "KernelProfile":
+        """Profile of the Listing-3 buffered kernel."""
+        # Staging reads the 4-byte map entry and the 4-byte input
+        # element (miss traffic for the element is accounted separately).
+        return cls(
+            nnz=nnz,
+            irregular_accesses=map_length,
+            miss_rate=miss_rate,
+            regular_bytes_per_fma=REGULAR_BYTES_BUFFERED,
+            staging_bytes=4.0 * map_length,
+            regular_data_bytes=regular_data_bytes or nnz * REGULAR_BYTES_BUFFERED,
+            latency_bound=False,
+        )
+
+
+class PerformanceModel:
+    """Projection-time predictor for one device."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    # -- memory-system helpers ----------------------------------------
+
+    def effective_bandwidth(self, regular_data_bytes: float) -> float:
+        """Achievable stream bandwidth for a working set of given size.
+
+        On KNL, data beyond the 16 GB MCDRAM spills to DDR4; the
+        blended bandwidth weights each memory by the fraction of the
+        stream it serves (paper Section 4.2.2's ADS3 partial-caching
+        argument).  GPUs have a single device memory.
+        """
+        d = self.device
+        if d.slow_mem_bytes <= 0 or regular_data_bytes <= d.fast_mem_bytes:
+            return d.stream_efficiency * d.fast_mem_bw
+        fast_fraction = d.fast_mem_bytes / regular_data_bytes
+        blended = fast_fraction * d.fast_mem_bw + (1.0 - fast_fraction) * d.slow_mem_bw
+        return d.stream_efficiency * blended
+
+    # -- the model -----------------------------------------------------
+
+    def projection_time(self, profile: KernelProfile, smt: int = 2) -> float:
+        """Predicted seconds for one forward or backprojection.
+
+        ``smt`` (KNL only) scales how much gather latency the hardware
+        scheduler can overlap: more hardware threads per core sustain
+        more outstanding misses.
+        """
+        d = self.device
+        bw = self.effective_bandwidth(profile.regular_data_bytes)
+        regular_bytes = profile.nnz * profile.regular_bytes_per_fma
+        miss_bytes = (
+            profile.miss_rate * profile.irregular_accesses * d.cache_line_bytes
+        )
+        total_bytes = regular_bytes + miss_bytes + profile.staging_bytes
+        bandwidth_time = total_bytes / bw
+
+        if profile.latency_bound:
+            smt_eff = min(max(smt, 1), d.max_smt)
+            concurrency = d.concurrency * (smt_eff / d.max_smt if d.kind == "knl" else 1.0)
+            misses = profile.miss_rate * profile.irregular_accesses
+            latency_time = misses * d.mem_latency_s / concurrency
+        else:
+            latency_time = 0.0
+
+        compute_time = 2.0 * profile.nnz / (d.peak_gflops * 1e9)
+        return max(bandwidth_time, latency_time, compute_time)
+
+    def gflops(self, profile: KernelProfile, smt: int = 2) -> float:
+        """Predicted GFLOPS (``2 nnz / time``, paper Section 4.2)."""
+        return 2.0 * profile.nnz / self.projection_time(profile, smt=smt) / 1e9
+
+    def bandwidth_utilization(self, profile: KernelProfile, smt: int = 2) -> float:
+        """Predicted regular-stream bandwidth in GB/s (paper Fig. 9(c))."""
+        t = self.projection_time(profile, smt=smt)
+        return profile.nnz * profile.regular_bytes_per_fma / t / 1e9

@@ -1,0 +1,254 @@
+"""Machine specifications (paper Table 2, plus microarchitectural
+parameters needed by the performance model).
+
+The paper evaluates on five systems: ALCF Theta (KNL nodes), NCSA Blue
+Waters (K20X GPUs), ALCF Cooley (dual K80), an IBM Minsky (4x P100) and
+an Nvidia DGX-1 (8x V100).  We cannot run on those devices, so each is
+described by the bandwidth/latency/cache numbers the paper itself uses
+to explain its results; :mod:`repro.machine.perf_model` turns these
+into projection-time predictions.
+
+ECC degradation of 15 % is applied to K20X and K80 theoretical
+bandwidths, as the paper does (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "MachineSpec", "DEVICES", "MACHINES", "get_device", "get_machine"]
+
+GB = 1e9
+GiB = float(1 << 30)
+KiB = float(1 << 10)
+MiB = float(1 << 20)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One accelerator or many-core processor.
+
+    Attributes
+    ----------
+    name:
+        Device name.
+    kind:
+        ``"knl"`` or ``"gpu"`` (selects kernel-behaviour assumptions).
+    fast_mem_bytes:
+        On-chip / on-package memory capacity (MCDRAM or GPU DRAM/HBM).
+    fast_mem_bw:
+        Its theoretical bandwidth (B/s), ECC-adjusted where applicable.
+    slow_mem_bytes, slow_mem_bw:
+        Host-side capacity/bandwidth (KNL DDR4); zero for GPUs, whose
+        overflow goes over the host link instead.
+    stream_efficiency:
+        Achievable fraction of theoretical bandwidth (STREAM-like; the
+        paper quotes 73-92 % depending on device).
+    l1_bytes:
+        Per-core L1 (KNL) or per-SM shared memory (GPU) capacity
+        available for the input buffer.
+    l2_bytes:
+        Last-level cache in front of memory (KNL distributed L2 tiles,
+        GPU L2).
+    cache_line_bytes:
+        Line size used for miss-traffic accounting.
+    mem_latency_s:
+        Average latency of a miss that reaches memory.
+    concurrency:
+        Sustainable outstanding misses (memory-level parallelism
+        aggregated over the device) — what turns latency into an
+        effective bandwidth ceiling for irregular streams.
+    peak_gflops:
+        FP32 peak (an upper roofline; SpMV never approaches it).
+    link_bw:
+        Host-device interface bandwidth (PCIe or NVLink); for KNL this
+        is the network-injection path and unused by single-device
+        modelling.
+    max_smt:
+        Hardware threads per core (KNL: 4); 1 for GPUs (occupancy is
+        modelled separately).
+    """
+
+    name: str
+    kind: str
+    fast_mem_bytes: float
+    fast_mem_bw: float
+    slow_mem_bytes: float
+    slow_mem_bw: float
+    stream_efficiency: float
+    l1_bytes: float
+    l2_bytes: float
+    cache_line_bytes: int
+    mem_latency_s: float
+    concurrency: float
+    peak_gflops: float
+    link_bw: float
+    max_smt: int
+
+
+DEVICES: dict[str, DeviceSpec] = {
+    "KNL": DeviceSpec(
+        name="Intel Xeon Phi 7230 (KNL)",
+        kind="knl",
+        fast_mem_bytes=16 * GiB,
+        fast_mem_bw=400 * GB,
+        slow_mem_bytes=192 * GiB,
+        slow_mem_bw=90 * GB,
+        stream_efficiency=0.78,
+        l1_bytes=32 * KiB,
+        # KNL's L2 is 1 MB per 2-core tile, private with coherence —
+        # the cache one thread's gathers actually contend for.
+        l2_bytes=1 * MiB,
+        cache_line_bytes=64,
+        mem_latency_s=150e-9,
+        concurrency=256.0,  # ~1 outstanding gather per hardware thread (64 cores x 4 SMT)
+        peak_gflops=5200.0,
+        link_bw=16 * GB,
+        max_smt=4,
+    ),
+    "K20X": DeviceSpec(
+        name="Nvidia Tesla K20X",
+        kind="gpu",
+        fast_mem_bytes=6 * GiB,
+        fast_mem_bw=0.85 * 250 * GB,  # 15 % ECC degradation; paper lists 212.5->121.5 class
+        slow_mem_bytes=0.0,
+        slow_mem_bw=0.0,
+        stream_efficiency=0.78,
+        l1_bytes=48 * KiB,
+        l2_bytes=1.5 * MiB,
+        cache_line_bytes=128,
+        mem_latency_s=600e-9,
+        concurrency=600.0,
+        peak_gflops=3935.0,
+        link_bw=8 * GB,  # PCIe gen2 effective
+        max_smt=1,
+    ),
+    "K80": DeviceSpec(
+        name="Nvidia Tesla K80 (per-GK210)",
+        kind="gpu",
+        fast_mem_bytes=12 * GiB,
+        fast_mem_bw=0.85 * 240 * GB,  # paper: 204 GB/s post-ECC per GPU
+        slow_mem_bytes=0.0,
+        slow_mem_bw=0.0,
+        stream_efficiency=0.78,
+        l1_bytes=48 * KiB,
+        l2_bytes=1.5 * MiB,
+        cache_line_bytes=128,
+        mem_latency_s=600e-9,
+        concurrency=700.0,
+        peak_gflops=4368.0,
+        link_bw=12 * GB,  # PCIe gen3
+        max_smt=1,
+    ),
+    "P100": DeviceSpec(
+        name="Nvidia Tesla P100",
+        kind="gpu",
+        fast_mem_bytes=16 * GiB,
+        fast_mem_bw=720 * GB,
+        slow_mem_bytes=0.0,
+        slow_mem_bw=0.0,
+        stream_efficiency=0.69,
+        l1_bytes=48 * KiB,  # addressable shared memory is capped at 48 KB
+        l2_bytes=4 * MiB,
+        cache_line_bytes=128,
+        mem_latency_s=450e-9,
+        concurrency=1600.0,
+        peak_gflops=9300.0,
+        link_bw=40 * GB,  # NVLink 1
+        max_smt=1,
+    ),
+    "V100": DeviceSpec(
+        name="Nvidia Tesla V100",
+        kind="gpu",
+        fast_mem_bytes=16 * GiB,
+        fast_mem_bw=900 * GB,
+        slow_mem_bytes=0.0,
+        slow_mem_bw=0.0,
+        stream_efficiency=0.92,
+        l1_bytes=96 * KiB,
+        l2_bytes=6 * MiB,
+        cache_line_bytes=128,
+        mem_latency_s=400e-9,
+        concurrency=2500.0,
+        peak_gflops=14130.0,
+        link_bw=80 * GB,  # NVLink 2
+        max_smt=1,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A cluster: nodes of devices plus an interconnect (paper Table 2).
+
+    ``net_latency_s`` / ``net_bw`` parameterize the alpha-beta model of
+    :mod:`repro.dist.comm_model`; ``devices_per_node`` counts devices a
+    rank set maps onto (Cooley nodes carry two K80 boards = 4 GK210).
+    """
+
+    name: str
+    num_nodes: int
+    device: DeviceSpec
+    devices_per_node: int
+    net_latency_s: float
+    net_bw: float
+
+
+MACHINES: dict[str, MachineSpec] = {
+    "theta": MachineSpec(
+        name="ALCF Theta",
+        num_nodes=4392,
+        device=DEVICES["KNL"],
+        devices_per_node=1,
+        net_latency_s=3e-6,  # Aries dragonfly
+        net_bw=8 * GB,
+    ),
+    "bluewaters": MachineSpec(
+        name="NCSA Blue Waters (XK7)",
+        num_nodes=4228,
+        device=DEVICES["K20X"],
+        devices_per_node=1,
+        net_latency_s=2.5e-6,  # Gemini 3D torus
+        net_bw=5 * GB,
+    ),
+    "cooley": MachineSpec(
+        name="ALCF Cooley",
+        num_nodes=126,
+        device=DEVICES["K80"],
+        devices_per_node=2,
+        net_latency_s=2e-6,  # FDR InfiniBand
+        net_bw=6 * GB,
+    ),
+    "minsky": MachineSpec(
+        name="IBM Minsky",
+        num_nodes=1,
+        device=DEVICES["P100"],
+        devices_per_node=4,
+        net_latency_s=1e-6,
+        net_bw=40 * GB,
+    ),
+    "dgx1": MachineSpec(
+        name="Nvidia DGX-1",
+        num_nodes=1,
+        device=DEVICES["V100"],
+        devices_per_node=8,
+        net_latency_s=1e-6,
+        net_bw=80 * GB,
+    ),
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device spec by short name (KNL, K20X, K80, P100, V100)."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICES)}") from None
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine spec by short name (theta, bluewaters, ...)."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise KeyError(f"unknown machine {name!r}; known: {sorted(MACHINES)}") from None

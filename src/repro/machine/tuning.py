@@ -1,0 +1,200 @@
+"""Tuning-parameter sweeps for the buffered kernel (paper Fig. 10).
+
+The buffered kernel has three knobs: partition (block) size, buffer
+size, and — on KNL — SMT threads per core.  The paper tunes them by
+exhaustive search on hardware; we sweep the same space by *building*
+the buffered data structures for each configuration (real stage
+counts, real map traffic from the actual matrix) and scoring them with
+the performance model plus two effects the base model ignores:
+
+* **L1 leak** — each SMT thread owns a private input buffer, so the
+  per-core L1 footprint is ``smt * buffer + output``; beyond L1
+  capacity the buffer re-reads spill to L2 and cost extra traffic
+  (paper Section 3.3.2).  On GPUs the buffer is shared memory: sizes
+  beyond the addressable limit (48 KB on K80/P100) are invalid, and
+  large buffers reduce occupancy.
+* **staging overhead** — every stage costs a synchronization; SMT (or
+  GPU block scheduling) overlaps staging with FMAs of other threads,
+  dividing the exposed overhead (paper Sections 3.3.3-3.3.4).
+
+This reproduces the qualitative landscape of Fig. 10: the KNL optimum
+at 4 SMT with ``4 x 8 KB = 32 KB = L1``, degradation for leaking or
+over-staged configurations, and the GPU preference for large blocks
+and large buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse import CSRMatrix, build_buffered
+from .perf_model import KernelProfile, PerformanceModel
+from .specs import DeviceSpec
+
+__all__ = ["TuningPoint", "sweep_tuning", "best_configuration"]
+
+#: Exposed cost of one buffer staging synchronization, per stage.
+_STAGE_SYNC_SECONDS = 2e-7
+
+#: Per-element cost of copying input data into the buffer when nothing
+#: overlaps it (one gather + one store).  SMT threads (or GPU block
+#: scheduling) hide this behind other threads' FMAs — the paper's
+#: Section 3.3.4 overlap mechanism and the reason 4 SMT wins on KNL.
+_STAGING_SECONDS_PER_ELEMENT = 1e-9
+
+#: Bytes of partition output accumulator per row (float32).
+_OUTPUT_BYTES_PER_ROW = 4
+
+#: Partitions per execution unit needed for dynamic scheduling to
+#: balance load (OpenMP dynamic / GPU block scheduling).
+_OVERSUBSCRIPTION = 4
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """One swept configuration and its predicted performance."""
+
+    partition_size: int
+    buffer_bytes: int
+    smt: int
+    gflops: float
+    num_stages: int
+    leak_fraction: float
+    valid: bool
+
+
+def _leak_fraction(device: DeviceSpec, partition_size: int, buffer_bytes: int, smt: int) -> float:
+    """Fraction of buffered re-reads that spill past L1.
+
+    Only the input buffers compete for L1: each KNL hardware thread
+    owns one, so the core-level footprint is ``smt * buffer`` (hence
+    the paper's 4 SMT x 8 KB = 32 KB = L1 sweet spot).  The output
+    accumulator streams through and is not counted.
+    """
+    del partition_size
+    footprint = smt * buffer_bytes if device.kind == "knl" else buffer_bytes
+    if footprint <= device.l1_bytes:
+        return 0.0
+    return 1.0 - device.l1_bytes / footprint
+
+
+def evaluate_configuration(
+    matrix: CSRMatrix,
+    device: DeviceSpec,
+    partition_size: int,
+    buffer_bytes: int,
+    smt: int = 2,
+    miss_rate: float = 0.05,
+    modeled_num_rows: int | None = None,
+) -> TuningPoint:
+    """Build the buffered layout for one configuration and score it.
+
+    ``miss_rate`` is the cache-simulated L2 miss rate of the staging
+    stream (near-compulsory after Hilbert ordering); it barely moves
+    across configurations, so callers usually measure it once.
+
+    ``modeled_num_rows`` sets the row count used for the load-balance
+    term: when tuning on a scaled-down matrix whose *structure* stands
+    in for a full-size dataset, pass the full-size row count so the
+    partition count seen by the scheduler model matches the target.
+    """
+    if device.kind == "gpu" and buffer_bytes > device.l1_bytes:
+        return TuningPoint(partition_size, buffer_bytes, smt, 0.0, 0, 1.0, valid=False)
+    try:
+        buffered = build_buffered(matrix, partition_size, buffer_bytes)
+    except ValueError:
+        return TuningPoint(partition_size, buffer_bytes, smt, 0.0, 0, 1.0, valid=False)
+
+    model = PerformanceModel(device)
+    profile = KernelProfile.buffered(
+        nnz=buffered.nnz,
+        map_length=int(buffered.map.shape[0]),
+        miss_rate=miss_rate,
+    )
+    base_time = model.projection_time(profile, smt=smt)
+
+    leak = _leak_fraction(device, partition_size, buffer_bytes, smt)
+    bw = model.effective_bandwidth(profile.regular_data_bytes)
+    # Leaked buffer gathers re-read from L2/memory instead of L1.
+    leak_time = leak * buffered.nnz * 4.0 / bw
+
+    num_stages = buffered.num_stages
+    overlap = max(smt, 1) if device.kind == "knl" else 4.0  # block scheduling on SMs
+    sync_time = num_stages * _STAGE_SYNC_SECONDS / overlap
+    # Exposed staging: buffer fills stall a lone thread; co-resident
+    # threads overlap them with FMAs (Section 3.3.4).
+    sync_time += buffered.map.shape[0] * _STAGING_SECONDS_PER_ELEMENT / overlap
+
+    # Dynamic-scheduling load balance: with too few partitions the
+    # cores/SMs cannot be kept busy (why the paper's KNL optimum is a
+    # modest block size of 128 despite staging favouring large blocks).
+    units = 64 * max(smt, 1) if device.kind == "knl" else 80
+    needed = _OVERSUBSCRIPTION * units
+    rows_for_balance = modeled_num_rows or matrix.num_rows
+    parts = max(-(-rows_for_balance // partition_size), 1)
+    balance = min(1.0, parts / needed) if parts < needed else 1.0
+    # Residual imbalance: the slowest unit carries the leftover block.
+    balance = min(balance, parts / (np.ceil(parts / units) * units) + 1e-9) or balance
+
+    time = (base_time + leak_time + sync_time) / max(balance, 1e-3)
+    return TuningPoint(
+        partition_size=partition_size,
+        buffer_bytes=buffer_bytes,
+        smt=smt,
+        gflops=2.0 * buffered.nnz / time / 1e9,
+        num_stages=num_stages,
+        leak_fraction=leak,
+        valid=True,
+    )
+
+
+def sweep_tuning(
+    matrix: CSRMatrix,
+    device: DeviceSpec,
+    partition_sizes: list[int],
+    buffer_sizes: list[int],
+    smts: list[int] | None = None,
+    miss_rate: float = 0.05,
+    modeled_num_rows: int | None = None,
+) -> list[TuningPoint]:
+    """Exhaustive sweep over the tuning space (paper Section 4.2.4)."""
+    if smts is None:
+        smts = list(range(1, device.max_smt + 1))
+    points = []
+    for smt in smts:
+        for partition_size in partition_sizes:
+            for buffer_bytes in buffer_sizes:
+                points.append(
+                    evaluate_configuration(
+                        matrix, device, partition_size, buffer_bytes, smt,
+                        miss_rate, modeled_num_rows,
+                    )
+                )
+    return points
+
+
+def best_configuration(points: list[TuningPoint]) -> TuningPoint:
+    """The highest-GFLOPS valid point of a sweep."""
+    valid = [p for p in points if p.valid]
+    if not valid:
+        raise ValueError("no valid tuning point in sweep")
+    return max(valid, key=lambda p: p.gflops)
+
+
+def heatmap(points: list[TuningPoint], smt: int) -> tuple[np.ndarray, list[int], list[int]]:
+    """Arrange sweep results as a (partition x buffer) GFLOPS grid.
+
+    Returns ``(grid, partition_sizes, buffer_sizes)`` with NaN for
+    invalid configurations — the Fig. 10 heat-map layout.
+    """
+    sel = [p for p in points if p.smt == smt]
+    partition_sizes = sorted({p.partition_size for p in sel})
+    buffer_sizes = sorted({p.buffer_bytes for p in sel})
+    grid = np.full((len(partition_sizes), len(buffer_sizes)), np.nan)
+    for p in sel:
+        i = partition_sizes.index(p.partition_size)
+        j = buffer_sizes.index(p.buffer_bytes)
+        grid[i, j] = p.gflops if p.valid else np.nan
+    return grid, partition_sizes, buffer_sizes

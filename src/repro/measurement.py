@@ -1,0 +1,112 @@
+"""Measurement-side data preparation.
+
+Paper Section 2.1 describes the acquisition chain: raw detector counts
+under Beer's law, flat fields (beam without sample) and dark fields
+(detector offset), from which the sinogram of line integrals is
+extracted.  These utilities implement that chain plus the
+center-of-rotation estimate a real pipeline needs before the geometry
+of :mod:`repro.geometry` applies:
+
+* :func:`simulate_counts` — forward model a phantom into raw counts
+  (with flats/darks), the inverse of the normalization;
+* :func:`normalize_counts` — flats/darks -> attenuation sinogram;
+* :func:`estimate_center_of_rotation` — sub-pixel COR from the
+  0/180-degree projection pair (parallel beam makes them mirror
+  images), by parabolic refinement of the cross-correlation peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["simulate_counts", "normalize_counts", "estimate_center_of_rotation"]
+
+
+def simulate_counts(
+    clean_sinogram: np.ndarray,
+    incident_photons: float = 1e4,
+    dark_level: float = 10.0,
+    seed: int = 0,
+    attenuation_scale: float | None = None,
+) -> dict[str, np.ndarray]:
+    """Simulate raw detector data for a clean line-integral sinogram.
+
+    Returns a dict with ``counts`` (sample in beam), ``flat`` (no
+    sample) and ``dark`` (no beam) frames, all Poisson, plus the
+    ``attenuation_scale`` used — everything
+    :func:`normalize_counts` needs to undo the chain.
+    """
+    if incident_photons <= 0:
+        raise ValueError(f"incident photon count must be positive, got {incident_photons}")
+    clean = np.asarray(clean_sinogram, dtype=np.float64)
+    max_val = float(clean.max()) if clean.size else 0.0
+    if attenuation_scale is None:
+        attenuation_scale = 2.0 / max_val if max_val > 0 else 1.0
+    rng = np.random.default_rng(seed)
+    expected = incident_photons * np.exp(-clean * attenuation_scale) + dark_level
+    counts = rng.poisson(expected).astype(np.float64)
+    flat = rng.poisson(
+        np.full(clean.shape[-1:], incident_photons + dark_level), size=clean.shape
+    ).astype(np.float64)
+    dark = rng.poisson(np.full(clean.shape, dark_level)).astype(np.float64)
+    return {
+        "counts": counts,
+        "flat": flat,
+        "dark": dark,
+        "attenuation_scale": np.float64(attenuation_scale),
+    }
+
+
+def normalize_counts(
+    counts: np.ndarray,
+    flat: np.ndarray,
+    dark: np.ndarray,
+    attenuation_scale: float = 1.0,
+) -> np.ndarray:
+    """Flat/dark-field normalization: counts -> line integrals.
+
+    ``sinogram = -log((counts - dark) / (flat - dark)) / scale`` with
+    transmissions clipped into ``(0, 1]`` so dead pixels and noise
+    overshoots stay finite.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    flat = np.asarray(flat, dtype=np.float64)
+    dark = np.asarray(dark, dtype=np.float64)
+    if counts.shape != flat.shape or counts.shape != dark.shape:
+        raise ValueError("counts, flat, dark must share a shape")
+    if attenuation_scale <= 0:
+        raise ValueError(f"attenuation scale must be positive, got {attenuation_scale}")
+    beam = np.maximum(flat - dark, 1.0)
+    transmission = np.clip((counts - dark) / beam, 1.0 / beam.max() / 10.0, 1.0)
+    return -np.log(transmission) / attenuation_scale
+
+
+def estimate_center_of_rotation(sinogram: np.ndarray) -> float:
+    """Estimate the center of rotation in channels, sub-pixel.
+
+    For a parallel-beam scan over ``[0, pi)``, the first projection and
+    the (virtual) 180-degree projection are mirror images about the
+    rotation axis.  We cross-correlate projection 0 with the flipped
+    last projection (nearly 180 degrees away), refine the peak with a
+    parabolic fit, and return the axis position; a centred scan returns
+    ``(N - 1) / 2``.
+    """
+    sino = np.asarray(sinogram, dtype=np.float64)
+    if sino.ndim != 2 or sino.shape[0] < 2:
+        raise ValueError("need a 2D sinogram with at least two projections")
+    p0 = sino[0] - sino[0].mean()
+    p180 = sino[-1][::-1] - sino[-1].mean()
+    n = sino.shape[1]
+    correlation = np.correlate(p0, p180, mode="full")  # lags -(n-1)..(n-1)
+    peak = int(np.argmax(correlation))
+    # Parabolic sub-sample refinement around the peak.
+    if 0 < peak < correlation.shape[0] - 1:
+        y0, y1, y2 = correlation[peak - 1 : peak + 2]
+        denom = y0 - 2.0 * y1 + y2
+        offset = 0.5 * (y0 - y2) / denom if denom != 0 else 0.0
+        offset = float(np.clip(offset, -0.5, 0.5))
+    else:
+        offset = 0.0
+    lag = peak + offset - (n - 1)
+    # A shift of the axis by d moves the correlation lag by 2d.
+    return (n - 1) / 2.0 + lag / 2.0

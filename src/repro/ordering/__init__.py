@@ -1,0 +1,39 @@
+"""Space-filling-curve orderings (paper Section 3.2).
+
+Exports the classic Hilbert curve, the generalized ("gilbert")
+rectangular Hilbert curve, Morton ordering, the paper's two-level
+pseudo-Hilbert ordering, and the :class:`DomainOrdering` abstraction
+used by the SpMV kernels and the distributed decomposition.
+"""
+
+from .domain import ORDERING_NAMES, DomainOrdering, make_ordering
+from .gilbert import gilbert2d, gilbert_order
+from .hilbert import (
+    SYMMETRIES,
+    apply_symmetry,
+    hilbert_curve,
+    hilbert_d2xy,
+    hilbert_xy2d,
+    symmetry_endpoints,
+)
+from .morton import morton_decode, morton_encode
+from .pseudo_hilbert import TwoLevelOrdering, choose_tile_size, pseudo_hilbert_order
+
+__all__ = [
+    "ORDERING_NAMES",
+    "DomainOrdering",
+    "make_ordering",
+    "gilbert2d",
+    "gilbert_order",
+    "SYMMETRIES",
+    "apply_symmetry",
+    "hilbert_curve",
+    "hilbert_d2xy",
+    "hilbert_xy2d",
+    "symmetry_endpoints",
+    "morton_decode",
+    "morton_encode",
+    "TwoLevelOrdering",
+    "choose_tile_size",
+    "pseudo_hilbert_order",
+]

@@ -1,0 +1,135 @@
+"""Domain orderings: uniform API over row-major / Morton / Hilbert layouts.
+
+A :class:`DomainOrdering` is a bijection between the row-major flat
+indices of a 2D domain and positions along a 1D layout.  MemXCT applies
+such orderings to *both* the tomogram and the sinogram domain; every
+matrix, vector, partition, and communication structure downstream is
+expressed in ordered coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hilbert import hilbert_xy2d
+from .morton import morton_encode
+from .pseudo_hilbert import TwoLevelOrdering, pseudo_hilbert_order
+
+__all__ = ["DomainOrdering", "make_ordering", "ORDERING_NAMES"]
+
+ORDERING_NAMES = ("row-major", "morton", "hilbert", "pseudo-hilbert")
+
+
+@dataclass(frozen=True)
+class DomainOrdering:
+    """A bijective layout of a ``rows x cols`` domain.
+
+    Attributes
+    ----------
+    name:
+        Ordering scheme name (one of :data:`ORDERING_NAMES`).
+    rows, cols:
+        Domain shape.
+    perm:
+        ``perm[k]`` = row-major flat index of position ``k``.
+    rank:
+        Inverse: ``rank[flat]`` = layout position of a row-major index.
+    two_level:
+        The underlying :class:`TwoLevelOrdering` when ``name`` is
+        ``"pseudo-hilbert"`` (used by the tile-based decomposition);
+        ``None`` otherwise.
+    """
+
+    name: str
+    rows: int
+    cols: int
+    perm: np.ndarray
+    rank: np.ndarray
+    two_level: TwoLevelOrdering | None = None
+
+    @property
+    def num_cells(self) -> int:
+        return self.rows * self.cols
+
+    def to_ordered(self, data: np.ndarray) -> np.ndarray:
+        """Reorder a row-major (2D or flat) array into layout order."""
+        flat = np.asarray(data).reshape(-1)
+        if flat.shape[0] != self.num_cells:
+            raise ValueError(f"expected {self.num_cells} elements, got {flat.shape[0]}")
+        return flat[self.perm]
+
+    def from_ordered(self, data: np.ndarray) -> np.ndarray:
+        """Reorder a layout-ordered array back to a row-major 2D array."""
+        flat = np.asarray(data).reshape(-1)
+        if flat.shape[0] != self.num_cells:
+            raise ValueError(f"expected {self.num_cells} elements, got {flat.shape[0]}")
+        return flat[self.rank].reshape(self.rows, self.cols)
+
+    def coordinates(self) -> tuple[np.ndarray, np.ndarray]:
+        """2D coordinates ``(x, y)`` of every layout position."""
+        flat = self.perm
+        return flat % self.cols, flat // self.cols
+
+
+def _identity_ordering(rows: int, cols: int) -> DomainOrdering:
+    n = rows * cols
+    perm = np.arange(n, dtype=np.int64)
+    return DomainOrdering("row-major", rows, cols, perm, perm.copy())
+
+
+def _code_ordering(rows: int, cols: int, name: str) -> DomainOrdering:
+    """Ordering by sorting cells on a space-filling-curve code.
+
+    Works for arbitrary rectangles by computing the code on the
+    bounding power-of-two square and keeping only in-domain cells.
+    ``np.argsort(kind="stable")`` keeps the construction deterministic.
+    """
+    side = 1
+    while side < max(rows, cols):
+        side *= 2
+    y, x = np.divmod(np.arange(rows * cols, dtype=np.int64), cols)
+    if name == "morton":
+        codes = morton_encode(x, y)
+    elif name == "hilbert":
+        order = int(np.log2(side)) if side > 1 else 0
+        codes = hilbert_xy2d(order, x, y)
+    else:  # pragma: no cover - guarded by make_ordering
+        raise ValueError(name)
+    perm = np.argsort(codes, kind="stable").astype(np.int64)
+    rank = np.empty_like(perm)
+    rank[perm] = np.arange(perm.shape[0], dtype=np.int64)
+    return DomainOrdering(name, rows, cols, perm, rank)
+
+
+def make_ordering(
+    name: str,
+    rows: int,
+    cols: int,
+    tile_size: int | None = None,
+    min_tiles: int = 4,
+) -> DomainOrdering:
+    """Construct a :class:`DomainOrdering` by scheme name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"row-major"``, ``"morton"``, ``"hilbert"``,
+        ``"pseudo-hilbert"``.
+    rows, cols:
+        Domain shape.
+    tile_size, min_tiles:
+        Forwarded to :func:`repro.ordering.pseudo_hilbert_order` for the
+        two-level scheme.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"domain must be non-empty, got {rows} x {cols}")
+    if name == "row-major":
+        return _identity_ordering(rows, cols)
+    if name in ("morton", "hilbert"):
+        return _code_ordering(rows, cols, name)
+    if name == "pseudo-hilbert":
+        two = pseudo_hilbert_order(rows, cols, tile_size=tile_size, min_tiles=min_tiles)
+        return DomainOrdering(name, rows, cols, two.perm, two.rank, two_level=two)
+    raise ValueError(f"unknown ordering {name!r}; expected one of {ORDERING_NAMES}")

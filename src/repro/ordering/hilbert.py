@@ -1,0 +1,176 @@
+"""Hilbert space-filling curve on a ``2^k x 2^k`` square.
+
+Provides vectorized conversions between 2D coordinates and positions
+along the curve (the classic bit-twiddling construction), plus the
+eight dihedral symmetries of the curve.  The symmetries are what the
+paper's two-level pseudo-Hilbert ordering uses to rotate the
+within-tile curves so that consecutive tiles remain connected
+("necessary rotations are performed to provide data connectivity among
+tiles", paper Section 3.2).
+
+The canonical curve produced by :func:`d2xy` starts at ``(0, 0)`` and
+ends at ``(2^k - 1, 0)``: entry and exit are the two corners of the
+bottom edge.  Applying a symmetry (and optionally reversing the curve)
+yields a curve whose entry/exit lie on any chosen pair of
+edge-adjacent corners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hilbert_xy2d",
+    "hilbert_d2xy",
+    "hilbert_curve",
+    "SYMMETRIES",
+    "apply_symmetry",
+    "symmetry_endpoints",
+]
+
+
+def _as_int_arrays(*arrays: np.ndarray) -> list[np.ndarray]:
+    return [np.asarray(a, dtype=np.int64).copy() for a in arrays]
+
+
+def hilbert_xy2d(order: int, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Map coordinates to positions along the order-``order`` Hilbert curve.
+
+    Parameters
+    ----------
+    order:
+        Curve order ``k``; the curve fills the ``2^k x 2^k`` square.
+    x, y:
+        Integer coordinate arrays in ``[0, 2^k)``.
+
+    Returns
+    -------
+    Distances ``d`` along the curve, same shape as ``x``.
+    """
+    if order < 0:
+        raise ValueError(f"curve order must be >= 0, got {order}")
+    x, y = _as_int_arrays(x, y)
+    side = np.int64(1) << order
+    if np.any((x < 0) | (x >= side) | (y < 0) | (y >= side)):
+        raise ValueError("coordinates outside the curve square")
+    d = np.zeros_like(x)
+    s = side >> 1
+    while s > 0:
+        rx = ((x & s) > 0).astype(np.int64)
+        ry = ((y & s) > 0).astype(np.int64)
+        d += s * s * ((3 * rx) ^ ry)
+        # Rotate the quadrant so the recursion sees the canonical frame.
+        flip = ry == 0
+        swap_flip = flip & (rx == 1)
+        x_f = np.where(swap_flip, s - 1 - x, x)
+        y_f = np.where(swap_flip, s - 1 - y, y)
+        x_new = np.where(flip, y_f, x_f)
+        y_new = np.where(flip, x_f, y_f)
+        x, y = x_new, y_new
+        s >>= 1
+    return d
+
+
+def hilbert_d2xy(order: int, d: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`hilbert_xy2d`: curve position to coordinates."""
+    if order < 0:
+        raise ValueError(f"curve order must be >= 0, got {order}")
+    d = np.asarray(d, dtype=np.int64)
+    side = np.int64(1) << order
+    if np.any((d < 0) | (d >= side * side)):
+        raise ValueError("curve positions out of range")
+    t = d.copy()
+    x = np.zeros_like(d)
+    y = np.zeros_like(d)
+    s = np.int64(1)
+    while s < side:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        # Undo the rotation applied at this level.
+        flip = ry == 0
+        swap_flip = flip & (rx == 1)
+        x_f = np.where(swap_flip, s - 1 - x, x)
+        y_f = np.where(swap_flip, s - 1 - y, y)
+        x_new = np.where(flip, y_f, x_f)
+        y_new = np.where(flip, x_f, y_f)
+        x = x_new + s * rx
+        y = y_new + s * ry
+        t //= 4
+        s <<= 1
+    return x, y
+
+
+def hilbert_curve(order: int) -> np.ndarray:
+    """All coordinates of the order-``order`` curve in visiting order.
+
+    Returns an array of shape ``(4^order, 2)`` with columns ``(x, y)``.
+    """
+    n = np.int64(1) << (2 * order)
+    x, y = hilbert_d2xy(order, np.arange(n))
+    return np.stack([x, y], axis=1)
+
+
+#: The eight dihedral symmetries of the square, as (name, transform) pairs.
+#: Each transform maps canonical-curve coordinates to rotated coordinates.
+SYMMETRIES: tuple[str, ...] = (
+    "identity",
+    "rot90",
+    "rot180",
+    "rot270",
+    "flip_x",
+    "flip_y",
+    "transpose",
+    "antitranspose",
+)
+
+
+def apply_symmetry(
+    name: str, x: np.ndarray, y: np.ndarray, side: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply one of the eight square symmetries to coordinate arrays.
+
+    Rotations are counter-clockwise.  ``side`` is the square side length.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    m = side - 1
+    if name == "identity":
+        return x, y
+    if name == "rot90":
+        return m - y, x
+    if name == "rot180":
+        return m - x, m - y
+    if name == "rot270":
+        return y, m - x
+    if name == "flip_x":
+        return m - x, y
+    if name == "flip_y":
+        return x, m - y
+    if name == "transpose":
+        return y, x
+    if name == "antitranspose":
+        return m - y, m - x
+    raise ValueError(f"unknown symmetry {name!r}")
+
+
+def symmetry_endpoints(order: int) -> dict[tuple[bool, str], tuple[tuple[int, int], tuple[int, int]]]:
+    """Entry/exit corners for every (reversed, symmetry) curve variant.
+
+    The canonical curve runs from ``(0, 0)`` to ``(side - 1, 0)``.
+    Reversal swaps entry and exit.  The returned mapping lets the
+    two-level ordering pick a variant whose entry corner sits next to
+    the previous tile's exit.
+    """
+    side = 1 << order
+    m = side - 1
+    start = np.array([0]), np.array([0])
+    end = np.array([m]), np.array([0])
+    table: dict[tuple[bool, str], tuple[tuple[int, int], tuple[int, int]]] = {}
+    for name in SYMMETRIES:
+        sx, sy = apply_symmetry(name, start[0], start[1], side)
+        ex, ey = apply_symmetry(name, end[0], end[1], side)
+        a = (int(sx[0]), int(sy[0]))
+        b = (int(ex[0]), int(ey[0]))
+        table[(False, name)] = (a, b)
+        table[(True, name)] = (b, a)
+    return table

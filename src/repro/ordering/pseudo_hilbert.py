@@ -1,0 +1,236 @@
+"""Two-level pseudo-Hilbert ordering (paper Section 3.2, Fig. 4).
+
+The domain (an arbitrary ``rows x cols`` rectangle) is covered by
+equi-sized square tiles whose side is a power of two.  The tiles are
+indexed by a generalized-Hilbert curve over the tile grid (level one);
+the cells inside each tile are indexed by a classic Hilbert curve
+(level two) whose orientation is chosen per tile so that the curve
+stays connected across tile boundaries — each tile's entry corner is
+placed adjacent to the previous tile's exit.
+
+The resulting ordering gives:
+
+* **cache locality** — any aligned run of ``2^(2j)`` consecutive
+  indices occupies a compact 2D block, so a cache line maps to a small
+  square instead of a 1D strip (Fig. 5);
+* **partition locality / connectivity** — contiguous index ranges
+  (thread partitions, MPI subdomains) are connected 2D regions
+  (Fig. 4b-c), which Morton ordering does not guarantee.
+
+Boundary tiles may overhang the domain; out-of-domain cells are simply
+skipped, preserving the relative order of in-domain cells (this is the
+"pseudo" part for arbitrary sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .gilbert import gilbert2d
+from .hilbert import SYMMETRIES, apply_symmetry, hilbert_curve, symmetry_endpoints
+
+__all__ = ["TwoLevelOrdering", "pseudo_hilbert_order", "choose_tile_size"]
+
+
+def choose_tile_size(rows: int, cols: int, min_tiles: int = 4) -> int:
+    """Pick a power-of-two tile side for a ``rows x cols`` domain.
+
+    The paper covers the domain "with a minimum number of equi-sized
+    square tiles" subject to the tile granularity needed by the
+    process-level decomposition; ``min_tiles`` expresses that need
+    (e.g. at least one tile per MPI rank).  The largest power-of-two
+    side not exceeding either domain dimension that still yields at
+    least ``min_tiles`` tiles is returned.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"domain must be non-empty, got {rows} x {cols}")
+    size = 1
+    while size * 2 <= min(rows, cols):
+        size *= 2
+    while size > 1:
+        tiles = -(-rows // size) * (-(-cols // size))
+        if tiles >= min_tiles:
+            break
+        size //= 2
+    return size
+
+
+@dataclass(frozen=True)
+class TwoLevelOrdering:
+    """A computed two-level pseudo-Hilbert ordering of a 2D domain.
+
+    Attributes
+    ----------
+    rows, cols:
+        Domain shape.
+    tile_size:
+        Power-of-two tile side length.
+    perm:
+        ``perm[k]`` is the row-major flat index of the ``k``-th cell
+        along the curve (length ``rows * cols``).
+    rank:
+        Inverse permutation: ``rank[flat] = k``.
+    tile_of:
+        ``tile_of[k]`` is the level-one tile index (position of the
+        tile along the tile curve) of the ``k``-th cell.
+    tile_displ:
+        CSR-style offsets: cells of curve-tile ``t`` occupy curve
+        positions ``tile_displ[t]:tile_displ[t + 1]``.
+    """
+
+    rows: int
+    cols: int
+    tile_size: int
+    perm: np.ndarray
+    rank: np.ndarray
+    tile_of: np.ndarray
+    tile_displ: np.ndarray
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of tiles along the level-one curve."""
+        return len(self.tile_displ) - 1
+
+    @property
+    def num_cells(self) -> int:
+        return self.rows * self.cols
+
+    def to_ordered(self, data: np.ndarray) -> np.ndarray:
+        """Reorder a row-major flattened (or 2D) array into curve order."""
+        flat = np.asarray(data).reshape(-1)
+        if flat.shape[0] != self.num_cells:
+            raise ValueError(
+                f"expected {self.num_cells} elements, got {flat.shape[0]}"
+            )
+        return flat[self.perm]
+
+    def from_ordered(self, data: np.ndarray) -> np.ndarray:
+        """Reorder a curve-ordered array back to row-major 2D layout."""
+        flat = np.asarray(data).reshape(-1)
+        if flat.shape[0] != self.num_cells:
+            raise ValueError(
+                f"expected {self.num_cells} elements, got {flat.shape[0]}"
+            )
+        return flat[self.rank].reshape(self.rows, self.cols)
+
+
+def _tile_entry_exit_choice(
+    prev_exit: tuple[int, int] | None,
+    step: tuple[int, int],
+    endpoints: dict[tuple[bool, str], tuple[tuple[int, int], tuple[int, int]]],
+    tile_size: int,
+) -> tuple[bool, str]:
+    """Greedy orientation pick for one tile.
+
+    ``prev_exit`` is the previous tile's exit cell in *local* coordinates
+    of the current tile (may be outside ``[0, tile_size)``); ``step`` is
+    the direction from this tile to the next tile on the level-one
+    curve.  We minimise the entry gap, breaking ties by how close the
+    exit corner lands to the next tile.
+    """
+    m = tile_size - 1
+    best: tuple[int, int, bool, str] | None = None
+    for (reversed_, name), (entry, exit_) in endpoints.items():
+        if prev_exit is None:
+            entry_cost = entry[0] + entry[1]  # prefer starting at origin corner
+        else:
+            entry_cost = abs(entry[0] - prev_exit[0]) + abs(entry[1] - prev_exit[1])
+        # Exit cost: Manhattan distance from the exit corner to the
+        # closest cell of the next tile along the level-one curve.
+        tx0, ty0 = step[0] * tile_size, step[1] * tile_size
+        dx = max(tx0 - exit_[0], exit_[0] - (tx0 + m), 0)
+        dy = max(ty0 - exit_[1], exit_[1] - (ty0 + m), 0)
+        exit_cost = dx + dy
+        key = (entry_cost, exit_cost, reversed_, name)
+        if best is None or key < (best[0], best[1], best[2], best[3]):
+            best = key
+    assert best is not None
+    return best[2], best[3]
+
+
+def pseudo_hilbert_order(
+    rows: int, cols: int, tile_size: int | None = None, min_tiles: int = 4
+) -> TwoLevelOrdering:
+    """Build the two-level pseudo-Hilbert ordering of a 2D domain.
+
+    Parameters
+    ----------
+    rows, cols:
+        Domain shape (row-major layout assumed for flat indices).
+    tile_size:
+        Power-of-two tile side.  Chosen by :func:`choose_tile_size`
+        when omitted.
+    min_tiles:
+        Minimum tile count passed to the tile-size heuristic.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"domain must be non-empty, got {rows} x {cols}")
+    if tile_size is None:
+        tile_size = choose_tile_size(rows, cols, min_tiles=min_tiles)
+    if tile_size < 1 or (tile_size & (tile_size - 1)) != 0:
+        raise ValueError(f"tile size must be a power of two, got {tile_size}")
+
+    order = int(np.log2(tile_size))
+    tiles_x = -(-cols // tile_size)
+    tiles_y = -(-rows // tile_size)
+    tile_coords = gilbert2d(tiles_x, tiles_y)  # (x, y) of tiles in curve order
+
+    base_curve = hilbert_curve(order)  # canonical within-tile curve
+    endpoints = symmetry_endpoints(order)
+
+    # Precompute the eight oriented variants of the within-tile curve.
+    variants: dict[tuple[bool, str], np.ndarray] = {}
+    for name in SYMMETRIES:
+        vx, vy = apply_symmetry(name, base_curve[:, 0], base_curve[:, 1], tile_size)
+        fwd = np.stack([vx, vy], axis=1)
+        variants[(False, name)] = fwd
+        variants[(True, name)] = fwd[::-1]
+
+    perm_parts: list[np.ndarray] = []
+    tile_counts = np.zeros(len(tile_coords), dtype=np.int64)
+    prev_exit_global: tuple[int, int] | None = None
+
+    for t, (tx, ty) in enumerate(tile_coords):
+        x0 = int(tx) * tile_size
+        y0 = int(ty) * tile_size
+        if t + 1 < len(tile_coords):
+            nxt = tile_coords[t + 1]
+            step = (int(nxt[0]) - int(tx), int(nxt[1]) - int(ty))
+        else:
+            step = (0, 0)
+        prev_local = None
+        if prev_exit_global is not None:
+            prev_local = (prev_exit_global[0] - x0, prev_exit_global[1] - y0)
+        reversed_, name = _tile_entry_exit_choice(prev_local, step, endpoints, tile_size)
+        curve = variants[(reversed_, name)]
+        cx = curve[:, 0] + x0
+        cy = curve[:, 1] + y0
+        inside = (cx < cols) & (cy < rows)
+        cx_in = cx[inside]
+        cy_in = cy[inside]
+        perm_parts.append(cy_in * cols + cx_in)
+        tile_counts[t] = cx_in.shape[0]
+        if cx_in.shape[0] > 0:
+            prev_exit_global = (int(cx_in[-1]), int(cy_in[-1]))
+
+    perm = np.concatenate(perm_parts) if perm_parts else np.empty(0, dtype=np.int64)
+    if perm.shape[0] != rows * cols:
+        raise AssertionError("two-level ordering did not cover the domain exactly")
+    rank = np.empty_like(perm)
+    rank[perm] = np.arange(perm.shape[0], dtype=np.int64)
+
+    tile_displ = np.zeros(len(tile_coords) + 1, dtype=np.int64)
+    np.cumsum(tile_counts, out=tile_displ[1:])
+    tile_of = np.repeat(np.arange(len(tile_coords), dtype=np.int64), tile_counts)
+
+    return TwoLevelOrdering(
+        rows=rows,
+        cols=cols,
+        tile_size=tile_size,
+        perm=perm,
+        rank=rank,
+        tile_of=tile_of,
+        tile_displ=tile_displ,
+    )

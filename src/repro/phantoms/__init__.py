@@ -1,0 +1,6 @@
+"""Test phantoms and the Beer-law measurement model."""
+
+from .shepp_logan import shepp_logan
+from .synthetic import beer_law_sinogram, brain_phantom, shale_phantom
+
+__all__ = ["shepp_logan", "beer_law_sinogram", "brain_phantom", "shale_phantom"]

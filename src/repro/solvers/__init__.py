@@ -1,0 +1,28 @@
+"""Iterative solvers (paper Section 3.5.2): CGLS, SIRT, SGD, L-curve."""
+
+from .base import MatrixOperator, ProjectionOperator, SolveResult
+from .cg import cgls
+from .fbp import fbp, ramp_filter
+from .icd import icd
+from .mlem import mlem
+from .lcurve import lcurve_corner, overfit_onset
+from .sgd import sgd
+from .regularized import TikhonovOperator, regularized_cgls
+from .sirt import sirt
+
+__all__ = [
+    "MatrixOperator",
+    "ProjectionOperator",
+    "SolveResult",
+    "cgls",
+    "fbp",
+    "ramp_filter",
+    "icd",
+    "mlem",
+    "TikhonovOperator",
+    "regularized_cgls",
+    "lcurve_corner",
+    "overfit_onset",
+    "sgd",
+    "sirt",
+]

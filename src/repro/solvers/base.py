@@ -1,0 +1,103 @@
+"""Common solver interfaces.
+
+All iterative schemes (paper Section 3.5.2) are written against a
+minimal linear-operator protocol — ``forward`` (``A x``), ``adjoint``
+(``A^T y``) and the two shapes — so that the serial MemXCT operator,
+the compute-centric operator, and the distributed operator are
+interchangeable ("plug-and-play" in the paper's words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["ProjectionOperator", "MatrixOperator", "SolveResult"]
+
+
+@runtime_checkable
+class ProjectionOperator(Protocol):
+    """Protocol for the tomographic system operator ``A``."""
+
+    @property
+    def num_rays(self) -> int:
+        """Sinogram length (rows of ``A``)."""
+        ...
+
+    @property
+    def num_pixels(self) -> int:
+        """Tomogram length (columns of ``A``)."""
+        ...
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward projection ``y = A x``."""
+        ...
+
+    def adjoint(self, y: np.ndarray) -> np.ndarray:
+        """Backprojection ``x = A^T y``."""
+        ...
+
+
+class MatrixOperator:
+    """Minimal :class:`ProjectionOperator` over an explicit matrix pair.
+
+    Useful whenever a raw :class:`repro.sparse.CSRMatrix` (or anything
+    with a compatible ``spmv``) should drive the solvers directly —
+    custom geometries, test systems, externally supplied matrices.
+    The transpose is built with the scan-based (locality-preserving)
+    transposition when not supplied.
+    """
+
+    def __init__(self, matrix, transpose=None):
+        from ..sparse import scan_transpose  # local import avoids a cycle
+
+        self.matrix = matrix
+        self.transpose = transpose if transpose is not None else scan_transpose(matrix)
+        if self.transpose.shape != (matrix.shape[1], matrix.shape[0]):
+            raise ValueError(
+                f"transpose shape {self.transpose.shape} does not match "
+                f"matrix shape {matrix.shape}"
+            )
+
+    @property
+    def num_rays(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def num_pixels(self) -> int:
+        return self.matrix.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.matrix.spmv(np.asarray(x, dtype=np.float32))
+
+    def adjoint(self, y: np.ndarray) -> np.ndarray:
+        return self.transpose.spmv(np.asarray(y, dtype=np.float32))
+
+    def row_sums(self) -> np.ndarray:
+        return self.matrix.row_sums()
+
+    def col_sums(self) -> np.ndarray:
+        return self.matrix.col_sums()
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative reconstruction.
+
+    ``residual_norms[i]`` is ``||A x_i - y||`` and
+    ``solution_norms[i]`` is ``||x_i||`` *after* iteration ``i``; the
+    pair traces the L-curve of paper Fig. 8(a).
+    """
+
+    x: np.ndarray
+    iterations: int
+    residual_norms: list[float] = field(default_factory=list)
+    solution_norms: list[float] = field(default_factory=list)
+    converged: bool = False
+    stop_reason: str = ""
+
+    def lcurve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(residual-norm, solution-norm) series for L-curve plots."""
+        return np.asarray(self.residual_norms), np.asarray(self.solution_norms)

@@ -1,0 +1,104 @@
+"""Conjugate-gradient least-squares solver (CGLS).
+
+MemXCT's solver of choice (paper Section 3.5.2): CG on the normal
+equations ``A^T A x = A^T y``.  Compared with SIRT it converges faster
+because (1) the full gradient is used, (2) the step size is computed
+analytically — which costs the extra forward projection of the search
+direction each iteration — and (3) the three-term recurrence keeps new
+directions conjugate to previous ones.
+
+The implementation is the textbook CGLS recurrence (paper ref [24],
+Barrett et al.), which applies ``A`` and ``A^T`` exactly once per
+iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ProjectionOperator, SolveResult
+
+__all__ = ["cgls"]
+
+
+def cgls(
+    op: ProjectionOperator,
+    y: np.ndarray,
+    num_iterations: int = 30,
+    x0: np.ndarray | None = None,
+    tolerance: float = 0.0,
+    callback=None,
+) -> SolveResult:
+    """Run CGLS iterations for ``min_x ||A x - y||``.
+
+    Parameters
+    ----------
+    op:
+        The system operator.
+    y:
+        Measured sinogram (flat, length ``op.num_rays``).
+    num_iterations:
+        Iteration budget.  The paper uses an early-termination
+        heuristic of 30 iterations for its datasets; see
+        :func:`repro.solvers.lcurve.lcurve_corner` for choosing the
+        stopping index a posteriori.
+    x0:
+        Initial tomogram estimate (zeros by default).
+    tolerance:
+        Relative gradient-norm stopping threshold
+        (``||A^T r|| <= tolerance * ||A^T y||``); 0 disables.
+    callback:
+        Optional ``callback(iteration, x)`` invoked after each update.
+    """
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    if y.shape[0] != op.num_rays:
+        raise ValueError(f"sinogram has {y.shape[0]} entries, expected {op.num_rays}")
+    x = (
+        np.zeros(op.num_pixels, dtype=np.float64)
+        if x0 is None
+        else np.asarray(x0, dtype=np.float64).copy()
+    )
+
+    r = y - np.asarray(op.forward(x), dtype=np.float64)
+    s = np.asarray(op.adjoint(r), dtype=np.float64)
+    p = s.copy()
+    gamma = float(s @ s)
+    gamma0 = gamma
+
+    result = SolveResult(x=x, iterations=0)
+    result.residual_norms.append(float(np.linalg.norm(r)))
+    result.solution_norms.append(float(np.linalg.norm(x)))
+
+    for it in range(num_iterations):
+        if gamma == 0.0:
+            result.converged = True
+            result.stop_reason = "exact solution reached"
+            break
+        q = np.asarray(op.forward(p), dtype=np.float64)
+        qq = float(q @ q)
+        if qq == 0.0:
+            result.stop_reason = "search direction in null space"
+            break
+        alpha = gamma / qq
+        x += alpha * p
+        r -= alpha * q
+        s = np.asarray(op.adjoint(r), dtype=np.float64)
+        gamma_new = float(s @ s)
+        beta = gamma_new / gamma
+        p = s + beta * p
+        gamma = gamma_new
+
+        result.iterations = it + 1
+        result.residual_norms.append(float(np.linalg.norm(r)))
+        result.solution_norms.append(float(np.linalg.norm(x)))
+        if callback is not None:
+            callback(it + 1, x)
+        if tolerance > 0.0 and gamma <= (tolerance**2) * gamma0:
+            result.converged = True
+            result.stop_reason = "gradient tolerance reached"
+            break
+
+    result.x = x
+    if not result.stop_reason:
+        result.stop_reason = "iteration budget exhausted"
+    return result

@@ -1,0 +1,67 @@
+"""L-curve analysis and the early-termination heuristic.
+
+Paper Fig. 8(a) plots the residual norm ``||A x_i - y||`` against the
+solution norm ``||x_i||`` over iterations.  For CG the curve develops a
+sharp corner: beyond it the residual barely improves while the solution
+norm grows — noise being fitted.  MemXCT terminates at the corner
+(~30 iterations on RDS1), "practically considered as a regularization
+method" (Section 3.5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lcurve_corner", "overfit_onset"]
+
+
+def lcurve_corner(residual_norms: np.ndarray, solution_norms: np.ndarray) -> int:
+    """Index of the L-curve corner (maximum curvature in log-log space).
+
+    Uses the standard discrete curvature of the parametric curve
+    ``(log r_i, log s_i)``.  Returns an iteration index into the input
+    series; series shorter than 3 points return the last index.
+    """
+    r = np.log(np.maximum(np.asarray(residual_norms, dtype=np.float64), 1e-300))
+    s = np.log(np.maximum(np.asarray(solution_norms, dtype=np.float64), 1e-300))
+    n = r.shape[0]
+    if n < 3:
+        return n - 1
+    dr = np.gradient(r)
+    ds = np.gradient(s)
+    d2r = np.gradient(dr)
+    d2s = np.gradient(ds)
+    denom = np.power(dr * dr + ds * ds, 1.5)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        curvature = np.abs(dr * d2s - ds * d2r) / denom
+    curvature[~np.isfinite(curvature)] = 0.0
+    # Endpoints have one-sided derivatives; exclude them.
+    curvature[0] = curvature[-1] = 0.0
+    return int(np.argmax(curvature))
+
+
+def overfit_onset(
+    residual_norms: np.ndarray,
+    solution_norms: np.ndarray,
+    residual_tol: float = 1e-3,
+    growth_tol: float = 1e-4,
+) -> int:
+    """First iteration where overfitting is detected.
+
+    Overfitting onset = the residual's relative per-iteration
+    improvement has fallen below ``residual_tol`` while the solution
+    norm still grows by more than ``growth_tol`` relatively — further
+    iterations add noise, not signal.  Returns the last index if the
+    condition never triggers.
+    """
+    r = np.asarray(residual_norms, dtype=np.float64)
+    s = np.asarray(solution_norms, dtype=np.float64)
+    if r.shape != s.shape:
+        raise ValueError("residual and solution series must have equal length")
+    n = r.shape[0]
+    for i in range(1, n):
+        res_gain = (r[i - 1] - r[i]) / max(r[i - 1], 1e-300)
+        sol_growth = (s[i] - s[i - 1]) / max(s[i - 1], 1e-300)
+        if res_gain < residual_tol and sol_growth > growth_tol:
+            return i
+    return n - 1

@@ -1,0 +1,73 @@
+"""Tikhonov-regularized CGLS — the R(x) of the paper's Eq. (1).
+
+The paper's formulation ``min ||y - A x||^2 + R(x)`` accommodates a
+regularizer; MemXCT itself regularizes implicitly by early
+termination, but the plug-and-play claim (Section 3.5.2) means an
+explicit regularizer should drop in with minor modifications.  This
+module provides ``R(x) = lambda ||x||^2`` (standard Tikhonov / ridge),
+solved with the same CGLS recurrence on the augmented system
+
+    [ A            ]       [ y ]
+    [ sqrt(l) * I  ] x  =  [ 0 ] .
+
+The augmentation is expressed through a wrapper operator, so the
+underlying forward/backprojection kernels (and their distributed
+variants) are reused untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ProjectionOperator, SolveResult
+from .cg import cgls
+
+__all__ = ["regularized_cgls", "TikhonovOperator"]
+
+
+class TikhonovOperator:
+    """Augmented operator ``[A; sqrt(lambda) I]`` over a base operator."""
+
+    def __init__(self, base: ProjectionOperator, strength: float):
+        if strength < 0:
+            raise ValueError(f"regularization strength must be >= 0, got {strength}")
+        self.base = base
+        self.strength = strength
+        self._sqrt = float(np.sqrt(strength))
+
+    @property
+    def num_rays(self) -> int:
+        return self.base.num_rays + self.base.num_pixels
+
+    @property
+    def num_pixels(self) -> int:
+        return self.base.num_pixels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        top = np.asarray(self.base.forward(x), dtype=np.float64)
+        return np.concatenate([top, self._sqrt * np.asarray(x, dtype=np.float64)])
+
+    def adjoint(self, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=np.float64)
+        data, prior = y[: self.base.num_rays], y[self.base.num_rays :]
+        return np.asarray(self.base.adjoint(data), dtype=np.float64) + self._sqrt * prior
+
+
+def regularized_cgls(
+    op: ProjectionOperator,
+    y: np.ndarray,
+    strength: float,
+    num_iterations: int = 30,
+    **kwargs,
+) -> SolveResult:
+    """Solve ``min ||A x - y||^2 + strength * ||x||^2`` with CGLS.
+
+    Returns a :class:`SolveResult` whose residual norms are those of
+    the *augmented* system (data residual plus prior penalty).
+    """
+    augmented = TikhonovOperator(op, strength)
+    rhs = np.concatenate(
+        [np.asarray(y, dtype=np.float64).reshape(-1), np.zeros(op.num_pixels)]
+    )
+    return cgls(augmented, rhs, num_iterations=num_iterations, **kwargs)

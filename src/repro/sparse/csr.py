@@ -1,0 +1,183 @@
+"""CSR sparse-matrix container and the baseline MemXCT SpMV kernel.
+
+This mirrors the paper's Listing 2: a gather-only row-parallel SpMV
+
+    for i in rows: y[i] = sum_j val[j] * x[ind[j]]
+
+with the regular streams ``ind``/``val`` and the irregular gather
+``x[ind[j]]``.  The Python kernel vectorizes the row loop with
+``np.add.reduceat`` over the nonzero products, which is the idiomatic
+numpy rendering of the same dataflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["CSRMatrix", "csr_row_sums"]
+
+
+def csr_row_sums(values: np.ndarray, displ: np.ndarray, num_rows: int) -> np.ndarray:
+    """Per-row sums of a CSR-ordered value stream.
+
+    ``values`` holds the per-nonzero products, ``displ`` the row offsets
+    (length ``num_rows + 1``).  Empty rows sum to zero; ``reduceat``
+    alone would mis-handle them, so they are masked out explicitly.
+    """
+    out = np.zeros(num_rows, dtype=values.dtype)
+    if values.shape[0] == 0 or num_rows == 0:
+        return out
+    starts = displ[:-1]
+    nonempty = starts < displ[1:]
+    if not nonempty.any():
+        return out
+    out[nonempty] = np.add.reduceat(values, starts[nonempty])
+    return out
+
+
+@dataclass
+class CSRMatrix:
+    """Compressed-sparse-row matrix with explicit displ/ind/val arrays.
+
+    The arrays correspond one-to-one to Listing 2 of the paper:
+    ``displ`` (row offsets, ``int64``), ``ind`` (column indices,
+    ``int32``) and ``val`` (intersection lengths, ``float32``).
+    """
+
+    displ: np.ndarray
+    ind: np.ndarray
+    val: np.ndarray
+    num_cols: int
+
+    def __post_init__(self) -> None:
+        self.displ = np.asarray(self.displ, dtype=np.int64)
+        self.ind = np.asarray(self.ind, dtype=np.int32)
+        self.val = np.asarray(self.val, dtype=np.float32)
+        if self.displ.ndim != 1 or self.displ.shape[0] < 1:
+            raise ValueError("displ must be a 1D offsets array")
+        if self.ind.shape != self.val.shape:
+            raise ValueError("ind and val must have identical shapes")
+        if self.displ[-1] != self.ind.shape[0]:
+            raise ValueError("displ[-1] must equal nnz")
+        if self.num_cols < 0:
+            raise ValueError("num_cols must be non-negative")
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix) -> "CSRMatrix":
+        """Convert any scipy sparse matrix (copies into our dtypes)."""
+        csr = sp.csr_matrix(matrix)
+        csr.sum_duplicates()
+        return cls(
+            displ=csr.indptr.astype(np.int64),
+            ind=csr.indices.astype(np.int32),
+            val=csr.data.astype(np.float32),
+            num_cols=csr.shape[1],
+        )
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """View as a scipy CSR matrix (shares the arrays)."""
+        return sp.csr_matrix(
+            (self.val, self.ind, self.displ), shape=self.shape, copy=False
+        )
+
+    # -- properties ----------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self.displ.shape[0] - 1
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.ind.shape[0])
+
+    def row_nnz(self) -> np.ndarray:
+        """Number of nonzeros in each row."""
+        return np.diff(self.displ)
+
+    # -- kernels -------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Baseline gather-only SpMV (paper Listing 2): ``y = A x``."""
+        x = np.asarray(x)
+        if x.shape[0] != self.num_cols:
+            raise ValueError(f"x has {x.shape[0]} entries, expected {self.num_cols}")
+        prod = self.val * x[self.ind]
+        return csr_row_sums(prod, self.displ, self.num_rows)
+
+    def row_sums(self) -> np.ndarray:
+        """Sum of values per row (used by SIRT scaling)."""
+        return csr_row_sums(self.val, self.displ, self.num_rows)
+
+    def col_sums(self) -> np.ndarray:
+        """Sum of values per column (used by SIRT scaling)."""
+        out = np.zeros(self.num_cols, dtype=self.val.dtype)
+        np.add.at(out, self.ind, self.val)
+        return out
+
+    def permute(self, row_perm: np.ndarray | None, col_rank: np.ndarray | None) -> "CSRMatrix":
+        """Reindex rows and/or columns.
+
+        ``row_perm[k]`` is the old row placed at new row ``k`` (curve
+        order to storage order); ``col_rank[old]`` is the new index of
+        an old column.  This is how domain orderings are applied to the
+        traced matrix without re-tracing.
+        """
+        displ, ind, val = self.displ, self.ind, self.val
+        if row_perm is not None:
+            row_perm = np.asarray(row_perm, dtype=np.int64)
+            counts = np.diff(displ)[row_perm]
+            new_displ = np.zeros(len(row_perm) + 1, dtype=np.int64)
+            np.cumsum(counts, out=new_displ[1:])
+            gather = _concat_ranges(displ[row_perm], counts)
+            ind = ind[gather]
+            val = val[gather]
+            displ = new_displ
+        if col_rank is not None:
+            col_rank = np.asarray(col_rank, dtype=np.int64)
+            ind = col_rank[ind].astype(np.int32)
+        return CSRMatrix(displ=displ, ind=ind, val=val, num_cols=self.num_cols)
+
+    def sort_rows_by_index(self) -> "CSRMatrix":
+        """Sort the nonzeros of each row by column index (ascending).
+
+        Keeps the irregular gathers of each row monotone in the ordered
+        domain — required before stage assignment in the buffered
+        kernel and beneficial for cache behaviour.
+        """
+        nrows = self.num_rows
+        row_ids = np.repeat(np.arange(nrows, dtype=np.int64), np.diff(self.displ))
+        order = np.lexsort((self.ind, row_ids))
+        return CSRMatrix(
+            displ=self.displ.copy(),
+            ind=self.ind[order],
+            val=self.val[order],
+            num_cols=self.num_cols,
+        )
+
+
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Indices of ``concat(arange(s, s + c) for s, c in zip(starts, counts))``.
+
+    Vectorized: total length ``counts.sum()``.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    ends = np.cumsum(counts)
+    nonzero = counts > 0
+    first_positions = (ends - counts)[nonzero]
+    out[first_positions[0]] = starts[nonzero][0]
+    if first_positions.shape[0] > 1:
+        prev_end_value = starts[nonzero][:-1] + counts[nonzero][:-1] - 1
+        out[first_positions[1:]] = starts[nonzero][1:] - prev_end_value
+    return np.cumsum(out)

@@ -1,0 +1,18 @@
+"""Ray tracing substrate: Siddon tracing and projection-matrix assembly."""
+
+from .matrix_builder import (
+    build_fan_projection_matrix,
+    build_projection_matrix,
+    projection_matrix_stats,
+)
+from .siddon import RaySegments, trace_angle, trace_ray, trace_rays
+
+__all__ = [
+    "build_fan_projection_matrix",
+    "build_projection_matrix",
+    "projection_matrix_stats",
+    "RaySegments",
+    "trace_angle",
+    "trace_ray",
+    "trace_rays",
+]

@@ -1,0 +1,26 @@
+"""Shared utilities: performance/image metrics and table formatting."""
+
+from .imaging import ascii_preview, save_pgm
+from .formatting import format_bytes, format_seconds, render_table
+from .metrics import (
+    REGULAR_BYTES_BUFFERED,
+    REGULAR_BYTES_CSR,
+    bandwidth_utilization_gb,
+    gflops,
+    psnr,
+    rmse,
+)
+
+__all__ = [
+    "format_bytes",
+    "ascii_preview",
+    "save_pgm",
+    "format_seconds",
+    "render_table",
+    "REGULAR_BYTES_BUFFERED",
+    "REGULAR_BYTES_CSR",
+    "bandwidth_utilization_gb",
+    "gflops",
+    "psnr",
+    "rmse",
+]

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print paper-style tables ("paper value vs measured") to
+stdout; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_bytes", "format_seconds"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (binary units, like the paper's tables)."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.3g} {unit}" if unit != "B" else f"{value:.0f} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration: ms / s / m / h / d."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g} ms"
+    if seconds < 120.0:
+        return f"{seconds:.3g} s"
+    if seconds < 5400.0:
+        return f"{seconds / 60.0:.3g} m"
+    if seconds < 86400.0:
+        return f"{seconds / 3600.0:.3g} h"
+    return f"{seconds / 86400.0:.3g} d"

@@ -1,0 +1,72 @@
+"""Dependency-free image output: PGM files and terminal previews.
+
+matplotlib is not a dependency of this library; reconstructions are
+written as binary PGM (viewable everywhere) and examples print coarse
+ASCII previews so results are inspectable straight from a terminal.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_pgm", "ascii_preview"]
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def _normalize(image: np.ndarray, vmin: float | None, vmax: float | None) -> np.ndarray:
+    img = np.asarray(image, dtype=np.float64)
+    lo = float(img.min()) if vmin is None else vmin
+    hi = float(img.max()) if vmax is None else vmax
+    if hi <= lo:
+        return np.zeros_like(img)
+    return np.clip((img - lo) / (hi - lo), 0.0, 1.0)
+
+
+def save_pgm(
+    path: str | Path,
+    image: np.ndarray,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> None:
+    """Write a 2D array as an 8-bit binary PGM (P5) image.
+
+    Row 0 of the array is written at the top of the image; values are
+    linearly mapped from ``[vmin, vmax]`` (data range by default) to
+    0-255.
+    """
+    img = np.asarray(image)
+    if img.ndim != 2:
+        raise ValueError(f"image must be 2D, got shape {img.shape}")
+    pixels = (_normalize(img, vmin, vmax) * 255.0).astype(np.uint8)
+    header = f"P5\n{img.shape[1]} {img.shape[0]}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + pixels.tobytes())
+
+
+def ascii_preview(
+    image: np.ndarray,
+    width: int = 64,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Render a coarse ASCII preview of a 2D array.
+
+    Downsamples by block averaging to ``width`` columns (rows halved to
+    compensate for character aspect ratio) and maps intensity to a
+    10-step ramp.
+    """
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim != 2:
+        raise ValueError(f"image must be 2D, got shape {img.shape}")
+    width = min(width, img.shape[1])
+    step = max(1, img.shape[1] // width)
+    rows_step = step * 2
+    h = img.shape[0] // rows_step
+    w = img.shape[1] // step
+    if h == 0 or w == 0:
+        h, w, rows_step, step = 1, 1, img.shape[0], img.shape[1]
+    block = img[: h * rows_step, : w * step].reshape(h, rows_step, w, step).mean(axis=(1, 3))
+    levels = (_normalize(block, vmin, vmax) * (len(_ASCII_RAMP) - 1)).astype(int)
+    return "\n".join("".join(_ASCII_RAMP[v] for v in row) for row in levels)

@@ -1,0 +1,65 @@
+"""Performance and image-quality metrics.
+
+The paper's metrics (Section 4.2): GFLOPS is ``2 * nnz / t`` (one FMA =
+one multiply + one add per nonzero), and average memory-bandwidth
+utilization counts the *regular* stream only, ``nnz * B_reg / t`` where
+``B_reg`` is regular bytes per FMA (8 for 32-bit CSR, 6 for the 16-bit
+buffered layout).  Image metrics (RMSE/PSNR) assess reconstruction
+quality against phantoms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gflops",
+    "bandwidth_utilization_gb",
+    "rmse",
+    "psnr",
+    "REGULAR_BYTES_CSR",
+    "REGULAR_BYTES_BUFFERED",
+]
+
+#: Regular bytes per FMA for the 32-bit-index CSR kernel (4 B value +
+#: 4 B index).
+REGULAR_BYTES_CSR = 8.0
+
+#: Regular bytes per FMA for the 16-bit buffered kernel (4 B value +
+#: 2 B index) — the 25 % saving of paper Section 3.3.5.
+REGULAR_BYTES_BUFFERED = 6.0
+
+
+def gflops(nnz: int, seconds: float) -> float:
+    """GFLOPS of one projection: two FLOPs per nonzero (paper 4.2)."""
+    if seconds <= 0:
+        raise ValueError(f"time must be positive, got {seconds}")
+    return 2.0 * nnz / seconds / 1e9
+
+
+def bandwidth_utilization_gb(nnz: int, bytes_per_fma: float, seconds: float) -> float:
+    """Average regular-stream bandwidth in GB/s (paper 4.2)."""
+    if seconds <= 0:
+        raise ValueError(f"time must be positive, got {seconds}")
+    return nnz * bytes_per_fma / seconds / 1e9
+
+
+def rmse(image: np.ndarray, reference: np.ndarray) -> float:
+    """Root-mean-square error between two images."""
+    a = np.asarray(image, dtype=np.float64)
+    b = np.asarray(reference, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def psnr(image: np.ndarray, reference: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (peak = reference dynamic range)."""
+    b = np.asarray(reference, dtype=np.float64)
+    peak = float(b.max() - b.min())
+    if peak == 0:
+        raise ValueError("reference image has zero dynamic range")
+    err = rmse(image, reference)
+    if err == 0:
+        return float("inf")
+    return 20.0 * np.log10(peak / err)

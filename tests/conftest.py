@@ -1,0 +1,69 @@
+"""Shared fixtures: small geometries and traced matrices.
+
+Session-scoped because tracing is the expensive step; tests must not
+mutate fixture objects (CSRMatrix methods are non-mutating by design).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OperatorConfig, preprocess
+from repro.geometry import ParallelBeamGeometry
+from repro.ordering import make_ordering
+from repro.sparse import CSRMatrix
+from repro.trace import build_projection_matrix
+
+
+@pytest.fixture(scope="session")
+def small_geometry() -> ParallelBeamGeometry:
+    """A 36x24 sinogram on a 24x24 grid — fast to trace."""
+    return ParallelBeamGeometry(36, 24)
+
+
+@pytest.fixture(scope="session")
+def small_matrix(small_geometry) -> CSRMatrix:
+    """Row-major traced matrix of the small geometry."""
+    return CSRMatrix.from_scipy(build_projection_matrix(small_geometry))
+
+
+@pytest.fixture(scope="session")
+def medium_geometry() -> ParallelBeamGeometry:
+    """A 60x48 sinogram on a 48x48 grid."""
+    return ParallelBeamGeometry(60, 48)
+
+
+@pytest.fixture(scope="session")
+def medium_matrix(medium_geometry) -> CSRMatrix:
+    return CSRMatrix.from_scipy(build_projection_matrix(medium_geometry))
+
+
+@pytest.fixture(scope="session")
+def ordered_medium(medium_geometry, medium_matrix):
+    """(matrix, tomo_ordering, sino_ordering) in pseudo-Hilbert order."""
+    n = medium_geometry.grid.n
+    tomo = make_ordering("pseudo-hilbert", n, n, min_tiles=16)
+    sino = make_ordering(
+        "pseudo-hilbert",
+        medium_geometry.num_angles,
+        medium_geometry.num_channels,
+        min_tiles=16,
+    )
+    matrix = medium_matrix.permute(sino.perm, tomo.rank).sort_rows_by_index()
+    return matrix, tomo, sino
+
+
+@pytest.fixture(scope="session")
+def small_operator(small_geometry):
+    """Preprocessed buffered operator on the small geometry."""
+    op, _ = preprocess(
+        small_geometry,
+        config=OperatorConfig(kernel="buffered", partition_size=32, buffer_bytes=4096),
+    )
+    return op
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,223 @@
+"""Tests for the cache simulator and the Fig. 5 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import (
+    Cache,
+    CacheStats,
+    cold_misses_for_footprint,
+    irregular_trace_buffered,
+    irregular_trace_csr,
+    miss_rate_buffered,
+    miss_rate_csr,
+    sample_rows,
+)
+from repro.geometry import ParallelBeamGeometry
+from repro.ordering import make_ordering
+from repro.sparse import CSRMatrix, build_buffered
+from repro.trace import build_projection_matrix
+
+
+class TestCacheModel:
+    def test_cold_misses(self):
+        c = Cache(capacity_bytes=1024, line_bytes=64, ways=4)
+        stats = c.run(np.arange(0, 640, 64))
+        assert stats.misses == 10 and stats.accesses == 10
+
+    def test_line_granularity_hits(self):
+        c = Cache(capacity_bytes=1024, line_bytes=64, ways=4)
+        stats = c.run(np.array([0, 4, 8, 63, 64]))
+        assert stats.misses == 2  # line 0 then line 1
+
+    def test_lru_eviction_order(self):
+        # 4-line fully-associative cache (1 set x 4 ways).
+        c = Cache(capacity_bytes=256, line_bytes=64, ways=4)
+        lines = np.array([0, 1, 2, 3]) * 64
+        c.run(lines)
+        c.run(np.array([0]))  # touch line 0 -> MRU
+        c.run(np.array([4 * 64]))  # evicts LRU = line 1
+        s = c.run(np.array([0]))
+        assert s.misses == 0  # line 0 survived
+        s = c.run(np.array([64]))
+        assert s.misses == 1  # line 1 was evicted
+
+    def test_set_conflicts(self):
+        # 2 sets x 1 way: lines 0 and 2 conflict, 0 and 1 do not.
+        c = Cache(capacity_bytes=128, line_bytes=64, ways=1)
+        s = c.run(np.array([0, 64, 0, 64]))
+        assert s.misses == 2
+        c.reset()
+        s = c.run(np.array([0, 128, 0, 128]))
+        assert s.misses == 4
+
+    def test_reset(self):
+        c = Cache(256, 64, 2)
+        c.run(np.array([0, 64]))
+        c.reset()
+        assert c.stats.accesses == 0
+        assert c.touched_lines() == 0
+
+    def test_access_single(self):
+        c = Cache(256, 64, 2)
+        assert c.access(0) is True
+        assert c.access(32) is False
+
+    def test_stats_merge_and_rate(self):
+        s = CacheStats(10, 4).merged(CacheStats(10, 1))
+        assert s.accesses == 20 and s.misses == 5
+        assert s.miss_rate == 0.25
+        assert s.hits == 15
+        assert CacheStats().miss_rate == 0.0
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            Cache(capacity_bytes=100, line_bytes=60, ways=1)  # non-pow2 line
+        with pytest.raises(ValueError):
+            Cache(capacity_bytes=32, line_bytes=64, ways=1)  # too small
+        with pytest.raises(ValueError):
+            Cache(capacity_bytes=256, line_bytes=64, ways=8)  # ways > lines
+
+
+class TestFig5WorkedExample:
+    """Paper Fig. 5: 16x16 domains, 64 B lines (16 floats).
+
+    Row-major ordering -> each row is one line -> a diagonal ray's ~30
+    tomogram accesses hit 16 lines (53 % misses); Hilbert -> lines are
+    4x4 blocks -> ~7 misses (23 %)."""
+
+    @pytest.fixture(scope="class")
+    def diagonal_ray_cols(self):
+        g = ParallelBeamGeometry(25, 16)
+        A = CSRMatrix.from_scipy(build_projection_matrix(g))
+        row = int(g.ray_index(25 // 4, 8))  # ~45 degrees, central channel
+        return A.ind[A.displ[row] : A.displ[row + 1]].astype(np.int64)
+
+    def test_access_count_near_paper(self, diagonal_ray_cols):
+        assert 28 <= diagonal_ray_cols.shape[0] <= 31  # paper: 30
+
+    def test_row_major_misses(self, diagonal_ray_cols):
+        rm = make_ordering("row-major", 16, 16)
+        misses, accesses = cold_misses_for_footprint(diagonal_ray_cols, rm)
+        assert misses == 16  # paper: 16 misses
+        assert misses / accesses > 0.5  # paper: 53 %
+
+    def test_hilbert_misses(self, diagonal_ray_cols):
+        hb = make_ordering("hilbert", 16, 16)
+        misses, accesses = cold_misses_for_footprint(diagonal_ray_cols, hb)
+        assert misses <= 8  # paper: 7 misses
+        assert misses / accesses < 0.3  # paper: 23 %
+
+    def test_sinusoid_footprint(self):
+        """The sinogram-side footprint of one pixel: one access per
+        angle (paper's 25 accesses), 16 row-major misses vs ~6 Hilbert."""
+        g = ParallelBeamGeometry(25, 16)
+        A = CSRMatrix.from_scipy(build_projection_matrix(g))
+        from repro.sparse import scan_transpose
+
+        AT = scan_transpose(A)
+        pixel = 8 * 16 + 4
+        rows = AT.ind[AT.displ[pixel] : AT.displ[pixel + 1]].astype(np.int64)
+        # One or two adjacent channels cross the pixel per angle.
+        assert 25 <= rows.shape[0] <= 2 * 25
+        rm = make_ordering("row-major", 25, 16)
+        hb = make_ordering("hilbert", 25, 16)
+        m_rm, _ = cold_misses_for_footprint(rows, rm)
+        m_hb, _ = cold_misses_for_footprint(rows, hb)
+        assert m_hb < m_rm
+
+
+class TestMissRates:
+    @pytest.fixture(scope="class")
+    def matrices(self):
+        g = ParallelBeamGeometry(60, 48)
+        A = CSRMatrix.from_scipy(build_projection_matrix(g))
+        tomo = make_ordering("pseudo-hilbert", 48, 48, min_tiles=16)
+        sino = make_ordering("pseudo-hilbert", 60, 48, min_tiles=16)
+        Ah = A.permute(sino.perm, tomo.rank).sort_rows_by_index()
+        return A, Ah
+
+    def test_hilbert_reduces_l2_misses(self, matrices):
+        A, Ah = matrices
+        cap = 1024
+        base = miss_rate_csr(A, cap)
+        hilb = miss_rate_csr(Ah, cap)
+        assert hilb.miss_rate < 0.6 * base.miss_rate
+
+    def test_buffered_staging_is_near_compulsory(self, matrices):
+        _, Ah = matrices
+        B = build_buffered(Ah, partition_size=64, buffer_bytes=1024)
+        stats = miss_rate_buffered(B, capacity_bytes=1024)
+        # The map stream is distinct, sorted per partition: touching a
+        # line's elements consecutively, so the rate is close to
+        # (elements per line)^-1 = 1/16 plus cross-partition re-reads.
+        assert stats.miss_rate < 0.5
+
+    def test_max_accesses_truncation(self, matrices):
+        A, _ = matrices
+        stats = miss_rate_csr(A, 4096, max_accesses=500)
+        assert stats.accesses == 500
+
+    def test_traces(self, matrices):
+        A, Ah = matrices
+        t = irregular_trace_csr(A)
+        assert t.shape[0] == A.nnz
+        assert (t % 4 == 0).all()
+        B = build_buffered(Ah, 64, 1024)
+        tb = irregular_trace_buffered(B)
+        assert tb.shape[0] == B.map.shape[0]
+
+    def test_sample_rows(self, matrices):
+        A, _ = matrices
+        sub = sample_rows(A, 10, seed=1)
+        assert sub.num_rows == 10
+        full = sample_rows(A, 10**9)
+        assert full.num_rows == A.num_rows
+
+
+class TestInterferenceTrace:
+    def test_combined_trace_structure(self):
+        import scipy.sparse as sp
+        from repro.cachesim import combined_trace_csr
+
+        S = sp.random(20, 30, density=0.2, random_state=np.random.default_rng(0),
+                      format="csr", dtype=np.float32)
+        A = CSRMatrix.from_scipy(S)
+        trace, is_gather = combined_trace_csr(A)
+        assert trace.shape[0] == 2 * A.nnz
+        assert is_gather.sum() == A.nnz
+        # gathers live in the low region, streams far above
+        assert trace[is_gather].max() < (1 << 39)
+        assert trace[~is_gather].min() >= (1 << 40)
+
+    def test_run_counting_counts_masked_only(self):
+        c = Cache(256, 64, 4)
+        addrs = np.array([0, 64, 0, 64])
+        mask = np.array([True, False, True, False])
+        stats = c.run_counting(addrs, mask)
+        assert stats.accesses == 2
+        assert stats.misses == 1  # first access misses, third hits
+
+    def test_run_counting_shape_validation(self):
+        c = Cache(256, 64, 4)
+        with pytest.raises(ValueError):
+            c.run_counting(np.zeros(3, dtype=np.int64), np.zeros(2, dtype=bool))
+
+    def test_interference_raises_miss_rate(self):
+        """Streaming ind/val traffic must evict gathered lines: the
+        interference-aware rate is at least the isolated rate."""
+        g = ParallelBeamGeometry(40, 32)
+        A = CSRMatrix.from_scipy(build_projection_matrix(g))
+        isolated = miss_rate_csr(A, 8192).miss_rate
+        interfered = miss_rate_csr(A, 8192, include_regular=True).miss_rate
+        assert interfered >= isolated
+
+    def test_hilbert_still_wins_under_interference(self):
+        g = ParallelBeamGeometry(60, 48)
+        A = CSRMatrix.from_scipy(build_projection_matrix(g))
+        tomo = make_ordering("pseudo-hilbert", 48, 48, min_tiles=16)
+        sino = make_ordering("pseudo-hilbert", 60, 48, min_tiles=16)
+        Ah = A.permute(sino.perm, tomo.rank).sort_rows_by_index()
+        base = miss_rate_csr(A, 4096, include_regular=True).miss_rate
+        hilb = miss_rate_csr(Ah, 4096, include_regular=True).miss_rate
+        assert hilb < base

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        p = build_parser()
+        assert p.parse_args(["info"]).command == "info"
+        args = p.parse_args(["preprocess", "--angles", "10", "--channels", "8"])
+        assert args.angles == 10 and args.kernel == "buffered"
+
+    def test_invalid_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reconstruct", "--solver", "mlem"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ADS1" in out and "RDS2" in out
+        assert "Theta" in out
+
+    def test_preprocess_and_reconstruct_from_file(self, tmp_path, capsys):
+        op_file = tmp_path / "op.npz"
+        assert main([
+            "preprocess", "--angles", "30", "--channels", "24",
+            "-o", str(op_file),
+        ]) == 0
+        assert op_file.exists()
+
+        # Build a sinogram file matching the operator's geometry.
+        from repro.io import load_operator
+        from repro.phantoms import shepp_logan
+
+        operator = load_operator(op_file)
+        sino = operator.project_image(shepp_logan(24))
+        sino_file = tmp_path / "sino.npz"
+        np.savez(sino_file, sinogram=sino)
+
+        out_file = tmp_path / "recon.npz"
+        assert main([
+            "reconstruct", "--sinogram", str(sino_file),
+            "--operator", str(op_file), "--iterations", "5",
+            "-o", str(out_file),
+        ]) == 0
+        with np.load(out_file) as data:
+            assert data["reconstruction"].shape == (24, 24)
+
+    def test_reconstruct_demo(self, tmp_path, capsys):
+        out_file = tmp_path / "demo.npz"
+        assert main([
+            "reconstruct", "--demo", "ADS1", "--scale", "0.0625",
+            "--iterations", "3", "-o", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PSNR" in out
+        assert out_file.exists()
+
+    def test_reconstruct_requires_input(self, capsys):
+        assert main(["reconstruct"]) == 2
+
+    def test_bench(self, capsys):
+        assert main(["bench", "--dataset", "ADS1", "--scale", "0.0625"]) == 0
+        out = capsys.readouterr().out
+        assert "multi-stage buffered" in out
+
+    def test_scale_command(self, capsys):
+        assert main([
+            "scale", "--dataset", "RDS1", "--machine", "theta",
+            "--mode", "strong", "--nodes-start", "32", "--steps", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "strong scaling" in out and "A_p" in out
+
+    def test_scale_weak_mode(self, capsys):
+        assert main([
+            "scale", "--dataset", "ADS2", "--machine", "bluewaters",
+            "--mode", "weak", "--steps", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "weak scaling" in out

@@ -1,0 +1,98 @@
+"""Tests for the alpha-beta communication cost model."""
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    allreduce_time,
+    alltoallv_time,
+    alltoallv_time_from_log,
+    memxct_comm_elements,
+    trace_comm_elements,
+)
+from repro.dist.simmpi import CommLog
+from repro.machine import get_machine
+
+
+class TestAlltoallv:
+    def test_zero_traffic_is_free(self):
+        t = alltoallv_time(np.zeros((4, 4)), get_machine("theta"))
+        assert t == 0.0
+
+    def test_scales_with_volume(self):
+        m = get_machine("theta")
+        v1 = np.zeros((2, 2))
+        v1[0, 1] = 1e6
+        v2 = v1 * 10
+        assert alltoallv_time(v2, m) > alltoallv_time(v1, m)
+
+    def test_latency_term_counts_partners(self):
+        m = get_machine("theta")
+        # Same total volume; spread over more partners costs more alpha.
+        few = np.zeros((8, 8))
+        few[0, 1] = 8e3
+        many = np.zeros((8, 8))
+        many[0, 1:] = np.full(7, 8e3 / 7)
+        assert alltoallv_time(many, m) > alltoallv_time(few, m)
+
+    def test_self_traffic_excluded(self):
+        m = get_machine("theta")
+        v = np.zeros((2, 2))
+        v[0, 0] = 1e9
+        assert alltoallv_time(v, m) == 0.0
+
+    def test_gpu_pays_host_device_transfer(self):
+        v = np.zeros((2, 2))
+        v[0, 1] = 1e8
+        theta = alltoallv_time(v, get_machine("theta"))
+        bw = alltoallv_time(v, get_machine("bluewaters"))
+        bw_no_link = alltoallv_time(
+            v, get_machine("bluewaters"), include_device_transfer=False
+        )
+        assert bw > bw_no_link
+        assert theta != bw
+
+    def test_from_log(self):
+        log = CommLog(2)
+        log.volume_bytes[0, 1] = 1000
+        assert alltoallv_time_from_log(log, get_machine("theta")) > 0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            alltoallv_time(np.zeros((2, 3)), get_machine("theta"))
+
+
+class TestAllreduce:
+    def test_single_rank_free(self):
+        assert allreduce_time(10**6, 1, get_machine("theta")) == 0.0
+
+    def test_log_p_growth(self):
+        m = get_machine("theta")
+        t4 = allreduce_time(10**6, 4, m)
+        t16 = allreduce_time(10**6, 16, m)
+        assert t16 == pytest.approx(2 * t4, rel=1e-6)  # log2: 2 vs 4 rounds
+
+    def test_gpu_more_expensive(self):
+        assert allreduce_time(10**6, 8, get_machine("bluewaters")) > allreduce_time(
+            10**6, 8, get_machine("theta")
+        )
+
+
+class TestComplexityCurves:
+    def test_memxct_sqrt_p(self):
+        e1 = memxct_comm_elements(100, 100, 4)
+        e2 = memxct_comm_elements(100, 100, 16)
+        assert e2 / e1 == pytest.approx(2.0)
+
+    def test_trace_log_p(self):
+        assert trace_comm_elements(100, 1) == 0.0
+        assert trace_comm_elements(100, 16) / trace_comm_elements(100, 4) == pytest.approx(2.0)
+
+    def test_crossover_favours_memxct_at_scale(self):
+        """At large P with M ~ N, MemXCT's per-rank O(MN/sqrt(P)) beats
+        the duplicated allreduce O(N^2 log P) — Table 1's punchline."""
+        m = n = 2048
+        p = 4096
+        memxct_per_rank = memxct_comm_elements(m, n, p) / p
+        trace_per_rank = trace_comm_elements(n, p)
+        assert memxct_per_rank < trace_per_rank

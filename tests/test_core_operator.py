@@ -1,0 +1,117 @@
+"""Tests for the MemXCT operator: kernels, transforms, footprints."""
+
+import numpy as np
+import pytest
+
+from repro.core import KERNELS, MemXCTOperator, OperatorConfig, preprocess
+from repro.geometry import ParallelBeamGeometry
+
+
+@pytest.fixture(scope="module")
+def operators():
+    """One operator per kernel on the same geometry."""
+    g = ParallelBeamGeometry(36, 24)
+    ops = {}
+    for kernel in KERNELS:
+        cfg = OperatorConfig(kernel=kernel, partition_size=16, buffer_bytes=512)
+        ops[kernel], _ = preprocess(g, config=cfg)
+    return g, ops
+
+
+class TestKernelsAgree:
+    def test_forward_all_kernels_equal(self, operators, rng):
+        g, ops = operators
+        x = rng.random(ops["csr"].num_pixels).astype(np.float32)
+        ref = ops["csr"].forward(x)
+        for kernel in ("buffered", "ell"):
+            np.testing.assert_allclose(ops[kernel].forward(x), ref, rtol=1e-4, atol=1e-4)
+
+    def test_adjoint_all_kernels_equal(self, operators, rng):
+        g, ops = operators
+        y = rng.random(ops["csr"].num_rays).astype(np.float32)
+        ref = ops["csr"].adjoint(y)
+        for kernel in ("buffered", "ell"):
+            np.testing.assert_allclose(ops[kernel].adjoint(y), ref, rtol=1e-4, atol=1e-4)
+
+    def test_adjoint_is_true_transpose(self, operators, rng):
+        _, ops = operators
+        op = ops["buffered"]
+        x = rng.random(op.num_pixels).astype(np.float32)
+        y = rng.random(op.num_rays).astype(np.float32)
+        lhs = float(np.dot(op.forward(x).astype(np.float64), y))
+        rhs = float(np.dot(x.astype(np.float64), op.adjoint(y)))
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+
+class TestImageSpace:
+    def test_roundtrips(self, operators, rng):
+        _, ops = operators
+        op = ops["csr"]
+        img = rng.random((24, 24))
+        np.testing.assert_array_equal(op.ordered_to_image(op.image_to_ordered(img)), img)
+        sino = rng.random((36, 24))
+        np.testing.assert_array_equal(
+            op.ordered_to_sinogram(op.sinogram_to_ordered(sino)), sino
+        )
+
+    def test_project_image_is_layout_invariant(self, rng):
+        """The same physical projection regardless of ordering scheme."""
+        g = ParallelBeamGeometry(20, 16)
+        img = rng.random((16, 16))
+        sinos = []
+        for ordering in ("row-major", "pseudo-hilbert"):
+            op, _ = preprocess(g, ordering=ordering)
+            sinos.append(op.project_image(img))
+        np.testing.assert_allclose(sinos[0], sinos[1], rtol=1e-4, atol=1e-5)
+
+    def test_backproject_sinogram_shape(self, operators, rng):
+        _, ops = operators
+        out = ops["csr"].backproject_sinogram(rng.random((36, 24)))
+        assert out.shape == (24, 24)
+
+
+class TestRowSubset:
+    def test_subset_forward_matches_full(self, operators, rng):
+        _, ops = operators
+        op = ops["csr"]
+        x = rng.random(op.num_pixels).astype(np.float32)
+        rows = np.array([3, 17, 100, 101])
+        np.testing.assert_allclose(
+            op.row_subset_forward(x, rows), op.forward(x)[rows], rtol=1e-5, atol=1e-5
+        )
+
+    def test_subset_adjoint_matches_masked_full(self, operators, rng):
+        _, ops = operators
+        op = ops["csr"]
+        rows = np.array([5, 50, 500])
+        vals = rng.random(3).astype(np.float32)
+        full = np.zeros(op.num_rays, dtype=np.float32)
+        full[rows] = vals
+        np.testing.assert_allclose(
+            op.row_subset_adjoint(vals, rows), op.adjoint(full), rtol=1e-4, atol=1e-5
+        )
+
+
+class TestFootprints:
+    def test_table3_conventions(self, operators):
+        g, ops = operators
+        fp = ops["csr"].memory_footprint()
+        assert fp["irregular_forward"] == 24 * 24 * 4
+        assert fp["irregular_adjoint"] == 36 * 24 * 4
+        assert fp["regular_forward"] == ops["csr"].matrix.nnz * 8
+
+    def test_buffered_uses_16bit_indices(self, operators):
+        _, ops = operators
+        fp = ops["buffered"].memory_footprint()
+        assert fp["regular_forward"] == ops["buffered"].matrix.nnz * 6
+
+
+class TestConfig:
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorConfig(kernel="dense")
+
+    def test_num_properties(self, operators):
+        g, ops = operators
+        assert ops["csr"].num_rays == g.num_rays
+        assert ops["csr"].num_pixels == g.grid.num_pixels

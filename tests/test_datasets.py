@@ -1,0 +1,107 @@
+"""Tests for dataset descriptors and Table 3 footprint calculators."""
+
+import numpy as np
+import pytest
+
+from repro.core import CHORD_CONSTANT, DATASETS, TABLE3_PAPER, get_dataset, preprocess, table3_row
+from repro.trace import build_projection_matrix, projection_matrix_stats
+
+
+class TestDescriptors:
+    def test_paper_dimensions(self):
+        assert get_dataset("ADS1").num_projections == 360
+        assert get_dataset("ADS1").num_channels == 256
+        assert get_dataset("ADS4").num_channels == 2048
+        assert get_dataset("RDS1").num_projections == 1501
+        assert get_dataset("RDS2").num_channels == 11283
+
+    def test_sample_types(self):
+        assert get_dataset("ADS2").sample == "artificial"
+        assert get_dataset("RDS1").sample == "shale"
+        assert get_dataset("RDS2").sample == "brain"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_dataset("ADS9")
+
+    def test_scaled_preserves_aspect(self):
+        s = get_dataset("ADS2").scaled(0.125)
+        full = get_dataset("ADS2")
+        assert s.num_projections / s.num_channels == pytest.approx(
+            full.num_projections / full.num_channels, rel=0.1
+        )
+        assert "@" in s.name
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            get_dataset("ADS1").scaled(0.0)
+        with pytest.raises(ValueError):
+            get_dataset("ADS1").scaled(1.5)
+
+    def test_geometry(self):
+        g = get_dataset("ADS1").scaled(0.125).geometry()
+        assert g.sinogram_shape == (44, 32)  # 45 rounded to even
+
+
+class TestFootprints:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_irregular_matches_paper(self, name):
+        """Irregular data = domain vectors: must match Table 3 within
+        a few percent (the paper rounds)."""
+        spec = get_dataset(name)
+        fwd, adj = spec.irregular_bytes()
+        paper_fwd, paper_adj = TABLE3_PAPER[name]["irregular"]
+        assert fwd == pytest.approx(paper_fwd, rel=0.10)
+        assert adj == pytest.approx(paper_adj, rel=0.10)
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_regular_matches_paper(self, name):
+        """Regular data = 8 B x nnz with nnz from the chord law: must
+        land within ~25 % of Table 3 (the paper's own rounding plus the
+        chord-constant approximation)."""
+        spec = get_dataset(name)
+        fwd, _ = spec.regular_bytes()
+        paper_fwd, _ = TABLE3_PAPER[name]["regular"]
+        assert fwd == pytest.approx(paper_fwd, rel=0.30)
+
+    def test_chord_constant_against_traced_matrices(self):
+        """The analytic nnz law must agree with real traces at two
+        scales of the same dataset."""
+        for factor in (0.0625, 0.125):
+            spec = get_dataset("ADS1").scaled(factor)
+            A = build_projection_matrix(spec.geometry())
+            measured = projection_matrix_stats(A)["chord_constant"]
+            assert measured == pytest.approx(CHORD_CONSTANT, rel=0.06)
+
+    def test_table3_row_format(self):
+        row = table3_row(get_dataset("ADS1"))
+        assert row["sinogram"] == "360x256"
+        assert row["regular_fwd"] == row["regular_adj"]
+
+
+class TestSinogramSynthesis:
+    def test_sinogram_and_phantom(self):
+        spec = get_dataset("RDS1").scaled(0.04)
+        op, _ = preprocess(spec.geometry())
+        sino, truth = spec.sinogram(op, incident_photons=1e6, seed=1)
+        assert sino.shape == spec.geometry().sinogram_shape
+        assert truth.shape == (spec.num_channels, spec.num_channels)
+        assert sino.max() > 0
+
+    def test_noise_decreases_with_dose(self):
+        spec = get_dataset("ADS1").scaled(0.125)
+        op, _ = preprocess(spec.geometry())
+        truth = spec.phantom()
+        clean = op.project_image(truth)
+        low, _ = spec.sinogram(op, incident_photons=1e3, seed=2)
+        high, _ = spec.sinogram(op, incident_photons=1e7, seed=2)
+        err_low = np.linalg.norm(low - clean)
+        err_high = np.linalg.norm(high - clean)
+        assert err_high < 0.2 * err_low
+
+    def test_unknown_sample_rejected(self):
+        from repro.core.datasets import DatasetSpec
+
+        bad = DatasetSpec("X", 8, 8, "gas")
+        with pytest.raises(ValueError):
+            bad.phantom()

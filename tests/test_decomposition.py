@@ -1,0 +1,85 @@
+"""Tests for tile-based both-domain decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.dist import decompose_both, decompose_domain
+from repro.ordering import make_ordering
+
+
+class TestDecomposeDomain:
+    @pytest.fixture(scope="class")
+    def ordering(self):
+        return make_ordering("pseudo-hilbert", 32, 32, tile_size=4)
+
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 7, 16])
+    def test_bounds_cover_domain(self, ordering, ranks):
+        dec = decompose_domain(ordering, ranks)
+        assert dec.bounds[0] == 0
+        assert dec.bounds[-1] == ordering.num_cells
+        assert np.all(np.diff(dec.bounds) >= 0)
+
+    def test_cuts_on_tile_boundaries(self, ordering):
+        dec = decompose_domain(ordering, 8)
+        tile_displ = set(ordering.two_level.tile_displ.tolist())
+        for b in dec.bounds:
+            assert int(b) in tile_displ
+
+    def test_subdomains_are_connected_regions(self, ordering):
+        """Paper Fig. 4(b): each rank's cells form a connected 2D region."""
+        dec = decompose_domain(ordering, 4)
+        cols = ordering.cols
+        for p in range(4):
+            cells = ordering.perm[dec.bounds[p] : dec.bounds[p + 1]]
+            x = cells % cols
+            y = cells // cols
+            steps = np.abs(np.diff(x)) + np.abs(np.diff(y))
+            assert steps.max() == 1  # the curve never leaves the region
+
+    def test_load_balance_reasonable(self, ordering):
+        dec = decompose_domain(ordering, 8)
+        assert dec.load_imbalance() < 1.5
+
+    def test_owner_of(self, ordering):
+        dec = decompose_domain(ordering, 4)
+        owners = dec.owner_of(np.arange(ordering.num_cells))
+        assert owners.min() == 0 and owners.max() == 3
+        assert np.all(np.diff(owners) >= 0)  # contiguous ownership
+        for p in range(4):
+            assert (owners == p).sum() == dec.rank_size(p)
+
+    def test_scatter_gather_roundtrip(self, ordering):
+        dec = decompose_domain(ordering, 5)
+        data = np.arange(ordering.num_cells, dtype=np.float64)
+        np.testing.assert_array_equal(dec.gather(dec.scatter(data)), data)
+
+    def test_gather_validates_count(self, ordering):
+        dec = decompose_domain(ordering, 3)
+        with pytest.raises(ValueError):
+            dec.gather([np.zeros(2)])
+
+    def test_more_ranks_than_tiles_falls_back_to_even_split(self):
+        o = make_ordering("pseudo-hilbert", 8, 8, tile_size=4)  # 4 tiles
+        dec = decompose_domain(o, 16)
+        assert dec.bounds[-1] == 64
+        assert dec.load_imbalance() == 1.0
+
+    def test_row_major_fallback(self):
+        o = make_ordering("row-major", 10, 10)
+        dec = decompose_domain(o, 4)
+        np.testing.assert_array_equal(dec.bounds, [0, 25, 50, 75, 100])
+
+    def test_invalid_rank_count(self):
+        o = make_ordering("row-major", 4, 4)
+        with pytest.raises(ValueError):
+            decompose_domain(o, 0)
+
+
+class TestDecomposeBoth:
+    def test_both_domains(self):
+        tomo = make_ordering("pseudo-hilbert", 16, 16, tile_size=4)
+        sino = make_ordering("pseudo-hilbert", 24, 16, tile_size=4)
+        td, sd = decompose_both(tomo, sino, 4)
+        assert td.num_ranks == sd.num_ranks == 4
+        assert td.bounds[-1] == 256
+        assert sd.bounds[-1] == 384

@@ -1,0 +1,115 @@
+"""Tests for the DomainOrdering abstraction over layout schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering import ORDERING_NAMES, make_ordering
+
+
+class TestMakeOrdering:
+    @pytest.mark.parametrize("name", ORDERING_NAMES)
+    @pytest.mark.parametrize("rows,cols", [(8, 8), (13, 11), (1, 7), (20, 3)])
+    def test_is_permutation(self, name, rows, cols):
+        o = make_ordering(name, rows, cols)
+        assert o.name == name
+        assert np.unique(o.perm).shape[0] == rows * cols
+        np.testing.assert_array_equal(o.rank[o.perm], np.arange(rows * cols))
+
+    @pytest.mark.parametrize("name", ORDERING_NAMES)
+    def test_roundtrip(self, name):
+        o = make_ordering(name, 12, 10)
+        img = np.arange(120, dtype=np.float64).reshape(12, 10)
+        np.testing.assert_array_equal(o.from_ordered(o.to_ordered(img)), img)
+
+    def test_row_major_is_identity(self):
+        o = make_ordering("row-major", 6, 5)
+        np.testing.assert_array_equal(o.perm, np.arange(30))
+
+    def test_hilbert_matches_curve_on_square(self):
+        """On a power-of-two square the sorted-code construction must
+        reproduce the canonical Hilbert visit order."""
+        from repro.ordering import hilbert_curve
+
+        o = make_ordering("hilbert", 8, 8)
+        coords = hilbert_curve(3)
+        expected = coords[:, 1] * 8 + coords[:, 0]
+        np.testing.assert_array_equal(o.perm, expected)
+
+    def test_morton_blocks(self):
+        o = make_ordering("morton", 4, 4)
+        # First 4 positions must fill the bottom-left 2x2 quadrant.
+        first = set(o.perm[:4].tolist())
+        assert first == {0, 1, 4, 5}
+
+    def test_pseudo_hilbert_carries_two_level(self):
+        o = make_ordering("pseudo-hilbert", 13, 11, tile_size=4)
+        assert o.two_level is not None
+        assert o.two_level.num_tiles == 12
+        assert make_ordering("hilbert", 8, 8).two_level is None
+
+    def test_coordinates(self):
+        o = make_ordering("row-major", 3, 4)
+        x, y = o.coordinates()
+        np.testing.assert_array_equal(x[:4], [0, 1, 2, 3])
+        np.testing.assert_array_equal(y[:4], [0, 0, 0, 0])
+        np.testing.assert_array_equal(y[-1:], [2])
+
+    @given(
+        name=st.sampled_from(ORDERING_NAMES),
+        rows=st.integers(1, 20),
+        cols=st.integers(1, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, name, rows, cols):
+        o = make_ordering(name, rows, cols)
+        data = np.arange(rows * cols)
+        np.testing.assert_array_equal(o.from_ordered(o.to_ordered(data)).ravel(), data)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_ordering("zigzag", 4, 4)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            make_ordering("hilbert", 0, 4)
+
+    def test_length_validation(self):
+        o = make_ordering("hilbert", 4, 4)
+        with pytest.raises(ValueError):
+            o.to_ordered(np.zeros(15))
+
+    def test_hilbert_locality_beats_row_major(self):
+        """Mean 2D distance between layout neighbours must be smaller
+        under Hilbert than row-major on a tall domain."""
+
+        def mean_neighbour_distance(o):
+            x, y = o.coordinates()
+            return float(np.mean(np.abs(np.diff(x)) + np.abs(np.diff(y))))
+
+        hil = make_ordering("hilbert", 32, 32)
+        row = make_ordering("row-major", 32, 32)
+        assert mean_neighbour_distance(hil) < mean_neighbour_distance(row)
+
+
+class TestTileSizeHeuristic:
+    def test_min_tiles_larger_than_domain(self):
+        from repro.ordering import choose_tile_size
+
+        # Cannot produce more tiles than cells: degrades to 1x1 tiles.
+        assert choose_tile_size(4, 4, min_tiles=100) == 1
+
+    def test_single_cell_domain(self):
+        from repro.ordering import choose_tile_size, pseudo_hilbert_order
+
+        assert choose_tile_size(1, 1) == 1
+        o = pseudo_hilbert_order(1, 1)
+        assert o.perm.tolist() == [0]
+
+    def test_thin_domains(self):
+        from repro.ordering import pseudo_hilbert_order
+
+        for rows, cols in [(1, 17), (17, 1), (2, 31)]:
+            o = pseudo_hilbert_order(rows, cols)
+            assert np.unique(o.perm).shape[0] == rows * cols

@@ -1,0 +1,65 @@
+"""Tests for partition-padded ELL storage (GPU-style layout)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import CSRMatrix, build_ell
+
+
+def _random_sparse(rows, cols, density, seed):
+    rng = np.random.default_rng(seed)
+    return sp.random(rows, cols, density=density, random_state=rng, format="csr", dtype=np.float32)
+
+
+class TestELL:
+    @pytest.mark.parametrize("partition_size", [1, 4, 16, 64])
+    def test_spmv_matches_csr(self, partition_size):
+        S = _random_sparse(50, 37, 0.15, 0)
+        A = CSRMatrix.from_scipy(S)
+        E = build_ell(A, partition_size)
+        x = np.random.default_rng(1).random(37).astype(np.float32)
+        np.testing.assert_allclose(E.spmv(x), A.spmv(x), atol=1e-4)
+
+    def test_partition_level_padding_beats_matrix_level(self):
+        """One long row must only pad its own partition — the point of
+        partition-level ELL (paper Section 3.1.4)."""
+        dense = np.zeros((32, 32), dtype=np.float32)
+        dense[:, 0] = 1.0  # every row has 1 nnz ...
+        dense[0, :] = 1.0  # ... except row 0, which has 32
+        A = CSRMatrix.from_scipy(sp.csr_matrix(dense))
+        E = build_ell(A, partition_size=8)
+        matrix_level_padded = 32 * 32  # global width = 32
+        assert E.padded_nnz < matrix_level_padded
+        assert E.widths[0] == 32 and (E.widths[1:] == 1).all()
+
+    def test_padded_slots_are_zero(self):
+        A = CSRMatrix.from_scipy(_random_sparse(20, 20, 0.2, 2))
+        E = build_ell(A, 8)
+        for ind, val in zip(E.ind_slabs, E.val_slabs):
+            pad = val == 0
+            assert (ind[pad] == 0).all()
+
+    def test_padding_overhead_range(self):
+        A = CSRMatrix.from_scipy(_random_sparse(40, 40, 0.2, 3))
+        E = build_ell(A, 8)
+        assert 0.0 <= E.padding_overhead < 1.0
+
+    def test_empty_partition_tail(self):
+        """Row count not divisible by partition size."""
+        S = _random_sparse(13, 9, 0.4, 4)
+        A = CSRMatrix.from_scipy(S)
+        E = build_ell(A, 5)
+        assert E.partitions.num_partitions == 3
+        x = np.random.default_rng(5).random(9).astype(np.float32)
+        np.testing.assert_allclose(E.spmv(x), A.spmv(x), atol=1e-4)
+
+    def test_wrong_input_length_rejected(self):
+        E = build_ell(CSRMatrix.from_scipy(_random_sparse(6, 7, 0.5, 6)), 4)
+        with pytest.raises(ValueError):
+            E.spmv(np.ones(6, dtype=np.float32))
+
+    def test_traced_matrix(self, small_matrix):
+        E = build_ell(small_matrix, 16)
+        x = np.random.default_rng(7).random(small_matrix.num_cols).astype(np.float32)
+        np.testing.assert_allclose(E.spmv(x), small_matrix.spmv(x), rtol=1e-4, atol=1e-4)

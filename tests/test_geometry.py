@@ -1,0 +1,122 @@
+"""Tests for the grid and parallel-beam geometry."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Grid2D, ParallelBeamGeometry
+
+
+class TestGrid2D:
+    def test_shape_and_counts(self):
+        g = Grid2D(8)
+        assert g.shape == (8, 8)
+        assert g.num_pixels == 64
+        assert g.extent == 8.0
+        assert g.half_extent == 4.0
+
+    def test_planes_are_centred(self):
+        g = Grid2D(4)
+        np.testing.assert_allclose(g.x_planes(), [-2, -1, 0, 1, 2])
+        np.testing.assert_allclose(g.y_planes(), g.x_planes())
+
+    def test_pixel_size_scales_planes(self):
+        g = Grid2D(4, pixel_size=0.5)
+        np.testing.assert_allclose(g.x_planes(), [-1, -0.5, 0, 0.5, 1])
+        assert g.extent == 2.0
+
+    def test_pixel_index_row_major(self):
+        g = Grid2D(5)
+        assert g.pixel_index(0, 0) == 0
+        assert g.pixel_index(4, 0) == 4
+        assert g.pixel_index(0, 1) == 5
+        assert g.pixel_index(4, 4) == 24
+
+    def test_contains_mask(self):
+        g = Grid2D(3)
+        ix = np.array([-1, 0, 2, 3])
+        iy = np.array([0, 0, 2, 1])
+        np.testing.assert_array_equal(g.contains(ix, iy), [False, True, True, False])
+
+    def test_pixel_centers(self):
+        g = Grid2D(2)
+        x, y = g.pixel_centers()
+        np.testing.assert_allclose(x, [[-0.5, 0.5], [-0.5, 0.5]])
+        np.testing.assert_allclose(y, [[-0.5, -0.5], [0.5, 0.5]])
+
+    @pytest.mark.parametrize("n", [0, -3])
+    def test_invalid_size_rejected(self, n):
+        with pytest.raises(ValueError):
+            Grid2D(n)
+
+    def test_invalid_pixel_size_rejected(self):
+        with pytest.raises(ValueError):
+            Grid2D(4, pixel_size=0.0)
+
+
+class TestParallelBeamGeometry:
+    def test_shapes(self):
+        g = ParallelBeamGeometry(10, 8)
+        assert g.sinogram_shape == (10, 8)
+        assert g.num_rays == 80
+        assert g.grid.n == 8
+
+    def test_angles_cover_half_turn(self):
+        g = ParallelBeamGeometry(4, 8)
+        np.testing.assert_allclose(g.angles(), [0, np.pi / 4, np.pi / 2, 3 * np.pi / 4])
+
+    def test_channel_offsets_symmetric(self):
+        g = ParallelBeamGeometry(4, 6)
+        s = g.channel_offsets()
+        np.testing.assert_allclose(s, -s[::-1])
+        assert s.max() == pytest.approx(2.5)
+
+    def test_directions_are_unit_and_orthogonal_to_detector(self):
+        g = ParallelBeamGeometry(12, 8)
+        d = g.ray_directions()
+        a = g.detector_axes()
+        np.testing.assert_allclose(np.linalg.norm(d, axis=1), 1.0)
+        np.testing.assert_allclose(np.einsum("ij,ij->i", d, a), 0.0, atol=1e-14)
+
+    def test_angle_zero_rays_point_up(self):
+        g = ParallelBeamGeometry(4, 8)
+        d = g.ray_directions()[0]
+        np.testing.assert_allclose(d, [0.0, 1.0], atol=1e-15)
+
+    def test_ray_origins_lie_on_detector_axis(self):
+        g = ParallelBeamGeometry(8, 6)
+        for ai in range(g.num_angles):
+            origins = g.ray_origins(ai)
+            axis = g.detector_axes()[ai]
+            # Origins must be scalar multiples of the axis.
+            cross = origins[:, 0] * axis[1] - origins[:, 1] * axis[0]
+            np.testing.assert_allclose(cross, 0.0, atol=1e-12)
+
+    def test_ray_accessor_bounds(self):
+        g = ParallelBeamGeometry(4, 4)
+        ray = g.ray(1, 2)
+        assert ray.angle_index == 1 and ray.channel_index == 2
+        with pytest.raises(IndexError):
+            g.ray(4, 0)
+        with pytest.raises(IndexError):
+            g.ray(0, 4)
+
+    def test_ray_index_row_major(self):
+        g = ParallelBeamGeometry(5, 7)
+        assert g.ray_index(0, 0) == 0
+        assert g.ray_index(1, 0) == 7
+        assert g.ray_index(4, 6) == 34
+
+    def test_default_grid_matches_channels(self):
+        g = ParallelBeamGeometry(3, 9)
+        assert g.grid.n == 9
+
+    def test_custom_grid(self):
+        grid = Grid2D(16, pixel_size=0.25)
+        g = ParallelBeamGeometry(3, 16, grid=grid)
+        assert g.grid is grid
+        assert g.channel_offsets().max() == pytest.approx((16 / 2 - 0.5) * 0.25)
+
+    @pytest.mark.parametrize("m,n", [(0, 4), (4, 0), (-1, 3)])
+    def test_invalid_dims_rejected(self, m, n):
+        with pytest.raises(ValueError):
+            ParallelBeamGeometry(m, n)

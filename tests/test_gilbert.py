@@ -1,0 +1,66 @@
+"""Tests for the generalized Hilbert (gilbert) rectangle curve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering import gilbert2d, gilbert_order
+
+
+class TestGilbert:
+    @pytest.mark.parametrize(
+        "w,h",
+        [(1, 1), (1, 9), (9, 1), (2, 2), (3, 5), (5, 3), (13, 11), (16, 16), (31, 7), (4, 30)],
+    )
+    def test_visits_every_cell_once(self, w, h):
+        coords = gilbert2d(w, h)
+        assert coords.shape == (w * h, 2)
+        flat = coords[:, 1] * w + coords[:, 0]
+        assert np.unique(flat).shape[0] == w * h
+
+    @pytest.mark.parametrize("w,h", [(2, 2), (16, 16), (4, 30), (12, 8), (2, 26)])
+    def test_even_rectangles_fully_adjacent(self, w, h):
+        coords = gilbert2d(w, h)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert np.all(steps == 1), f"max step {steps.max()} for {w}x{h}"
+
+    @given(w=st.integers(1, 40), h=st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_bijective_and_near_connected_property(self, w, h):
+        """Every cell once; steps are unit except the documented rare
+        diagonal moves (L1 distance 2) on odd-sided rectangles."""
+        coords = gilbert2d(w, h)
+        flat = coords[:, 1] * w + coords[:, 0]
+        assert np.unique(flat).shape[0] == w * h
+        if w * h > 1:
+            steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+            assert steps.max() <= 2
+            assert np.mean(steps == 1) >= 0.9
+
+    def test_coordinates_in_bounds(self):
+        coords = gilbert2d(7, 9)
+        assert coords[:, 0].min() >= 0 and coords[:, 0].max() < 7
+        assert coords[:, 1].min() >= 0 and coords[:, 1].max() < 9
+
+    def test_starts_at_origin(self):
+        for w, h in [(5, 3), (3, 5), (8, 8)]:
+            assert tuple(gilbert2d(w, h)[0]) == (0, 0)
+
+    def test_order_is_permutation(self):
+        order = gilbert_order(6, 4)
+        assert sorted(order.tolist()) == list(range(24))
+
+    @pytest.mark.parametrize("w,h", [(0, 3), (3, 0), (-1, 2)])
+    def test_empty_rectangle_rejected(self, w, h):
+        with pytest.raises(ValueError):
+            gilbert2d(w, h)
+
+    def test_matches_hilbert_on_power_of_two_square_locality(self):
+        """On a 2^k square, gilbert has Hilbert-grade block locality."""
+        coords = gilbert2d(16, 16)
+        for start in range(0, 256, 16):
+            chunk = coords[start : start + 16]
+            w = chunk[:, 0].max() - chunk[:, 0].min() + 1
+            h = chunk[:, 1].max() - chunk[:, 1].min() + 1
+            assert w * h <= 32  # compact (within 2x of a square block)

@@ -1,0 +1,118 @@
+"""Tests for the classic Hilbert curve and its square symmetries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering import (
+    SYMMETRIES,
+    apply_symmetry,
+    hilbert_curve,
+    hilbert_d2xy,
+    hilbert_xy2d,
+    symmetry_endpoints,
+)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("order", range(6))
+    def test_d2xy_xy2d_roundtrip(self, order):
+        n = 1 << (2 * order)
+        d = np.arange(n)
+        x, y = hilbert_d2xy(order, d)
+        np.testing.assert_array_equal(hilbert_xy2d(order, x, y), d)
+
+    @given(order=st.integers(0, 7), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_xy2d_d2xy_roundtrip_random(self, order, seed):
+        rng = np.random.default_rng(seed)
+        side = 1 << order
+        x = rng.integers(0, side, size=20)
+        y = rng.integers(0, side, size=20)
+        d = hilbert_xy2d(order, x, y)
+        x2, y2 = hilbert_d2xy(order, d)
+        np.testing.assert_array_equal(x, x2)
+        np.testing.assert_array_equal(y, y2)
+
+    def test_order_zero(self):
+        assert hilbert_xy2d(0, np.array([0]), np.array([0]))[0] == 0
+
+
+class TestCurveProperties:
+    @pytest.mark.parametrize("order", range(1, 6))
+    def test_consecutive_cells_are_adjacent(self, order):
+        coords = hilbert_curve(order)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    @pytest.mark.parametrize("order", range(1, 5))
+    def test_visits_every_cell_once(self, order):
+        coords = hilbert_curve(order)
+        side = 1 << order
+        flat = coords[:, 1] * side + coords[:, 0]
+        assert np.unique(flat).shape[0] == side * side
+
+    def test_canonical_endpoints(self):
+        for order in range(1, 5):
+            coords = hilbert_curve(order)
+            side = 1 << order
+            assert tuple(coords[0]) == (0, 0)
+            assert tuple(coords[-1]) == (side - 1, 0)
+
+    @pytest.mark.parametrize("order", [2, 3])
+    def test_locality_beats_row_major(self, order):
+        """Aligned runs of 4^j consecutive indices form compact blocks."""
+        coords = hilbert_curve(order)
+        block = 4 ** (order - 1)
+        for start in range(0, len(coords), block):
+            chunk = coords[start : start + block]
+            w = chunk[:, 0].max() - chunk[:, 0].min() + 1
+            h = chunk[:, 1].max() - chunk[:, 1].min() + 1
+            assert w * h == block  # exactly a square sub-block
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            hilbert_xy2d(2, np.array([4]), np.array([0]))
+        with pytest.raises(ValueError):
+            hilbert_d2xy(2, np.array([16]))
+        with pytest.raises(ValueError):
+            hilbert_xy2d(-1, np.array([0]), np.array([0]))
+
+
+class TestSymmetries:
+    @pytest.mark.parametrize("name", SYMMETRIES)
+    def test_symmetry_is_bijective(self, name):
+        side = 8
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side))
+        tx, ty = apply_symmetry(name, xs.ravel(), ys.ravel(), side)
+        flat = ty * side + tx
+        assert np.unique(flat).shape[0] == side * side
+
+    @pytest.mark.parametrize("name", SYMMETRIES)
+    def test_symmetry_preserves_adjacency(self, name):
+        coords = hilbert_curve(3)
+        tx, ty = apply_symmetry(name, coords[:, 0], coords[:, 1], 8)
+        steps = np.abs(np.diff(tx)) + np.abs(np.diff(ty))
+        assert np.all(steps == 1)
+
+    def test_unknown_symmetry_rejected(self):
+        with pytest.raises(ValueError):
+            apply_symmetry("rot45", np.array([0]), np.array([0]), 4)
+
+    def test_endpoint_table_covers_all_edge_corner_pairs(self):
+        table = symmetry_endpoints(3)
+        assert len(table) == 16  # 8 symmetries x (forward, reversed)
+        m = 7
+        corners = {(0, 0), (m, 0), (0, m), (m, m)}
+        for entry, exit_ in table.values():
+            assert entry in corners and exit_ in corners
+            # entry and exit share an edge (differ in exactly one coord)
+            assert (entry[0] == exit_[0]) != (entry[1] == exit_[1])
+
+    def test_reversed_swaps_endpoints(self):
+        table = symmetry_endpoints(2)
+        for name in SYMMETRIES:
+            fwd = table[(False, name)]
+            rev = table[(True, name)]
+            assert fwd == (rev[1], rev[0])

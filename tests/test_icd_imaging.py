@@ -1,0 +1,118 @@
+"""Tests for the ICD solver and the imaging utilities."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import CSRMatrix, scan_transpose
+from repro.solvers import cgls, icd
+from repro.utils import ascii_preview, save_pgm
+
+
+@pytest.fixture()
+def system(rng):
+    S = sp.random(80, 40, density=0.25, random_state=rng, format="csr", dtype=np.float32)
+    S.data[:] = np.abs(S.data) + 0.1
+    A = CSRMatrix.from_scipy(S)
+    AT = scan_transpose(A)
+    x_true = rng.random(40)
+    y = A.spmv(x_true.astype(np.float32))
+    return A, AT, x_true, y
+
+
+class TestICD:
+    def test_residual_decreases_monotonically(self, system):
+        A, AT, _, y = system
+        res = icd(A, AT, y, num_sweeps=5)
+        r = np.asarray(res.residual_norms)
+        assert np.all(np.diff(r) <= 1e-9)
+
+    def test_converges_on_consistent_system(self, system):
+        A, AT, x_true, y = system
+        res = icd(A, AT, y, num_sweeps=60)
+        assert res.residual_norms[-1] < 0.02 * res.residual_norms[0]
+
+    def test_single_sweep_exact_per_coordinate(self):
+        """On a diagonal system one sweep solves exactly."""
+        dense = np.diag([1.0, 2.0, 4.0]).astype(np.float32)
+        A = CSRMatrix.from_scipy(sp.csr_matrix(dense))
+        AT = scan_transpose(A)
+        y = np.array([3.0, 8.0, 4.0])
+        res = icd(A, AT, y, num_sweeps=1)
+        np.testing.assert_allclose(res.x, [3.0, 4.0, 1.0], atol=1e-6)
+        assert res.residual_norms[-1] < 1e-6
+
+    def test_nonnegativity(self, system):
+        A, AT, _, y = system
+        res = icd(A, AT, -y, num_sweeps=3, nonnegativity=True)
+        assert (res.x >= 0).all()
+
+    def test_warm_start_from_cg(self, system):
+        """The paper's plug-and-play story: ICD refines a CG iterate."""
+        A, AT, _, y = system
+
+        class Op:
+            num_rays, num_pixels = A.num_rows, A.num_cols
+            forward = staticmethod(lambda x: A.spmv(np.asarray(x, dtype=np.float32)))
+            adjoint = staticmethod(lambda v: AT.spmv(np.asarray(v, dtype=np.float32)))
+
+        warm = cgls(Op(), y, num_iterations=5).x
+        res = icd(A, AT, y, num_sweeps=2, x0=warm)
+        assert res.residual_norms[-1] <= res.residual_norms[0]
+
+    def test_empty_columns_skipped(self):
+        dense = np.zeros((3, 3), dtype=np.float32)
+        dense[0, 0] = 1.0  # columns 1, 2 empty
+        A = CSRMatrix.from_scipy(sp.csr_matrix(dense))
+        res = icd(A, scan_transpose(A), np.array([2.0, 0.0, 0.0]), num_sweeps=1)
+        np.testing.assert_allclose(res.x, [2.0, 0.0, 0.0], atol=1e-7)
+
+    def test_validation(self, system):
+        A, AT, _, y = system
+        with pytest.raises(ValueError):
+            icd(A, AT, y[:-1])
+        with pytest.raises(ValueError):
+            icd(A, A, y)  # wrong transpose shape
+
+
+class TestImaging:
+    def test_pgm_roundtrip(self, tmp_path):
+        img = np.linspace(0, 1, 12).reshape(3, 4)
+        path = tmp_path / "img.pgm"
+        save_pgm(path, img)
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n4 3\n255\n")
+        pixels = np.frombuffer(raw.split(b"255\n", 1)[1], dtype=np.uint8)
+        assert pixels.shape[0] == 12
+        assert pixels[0] == 0 and pixels[-1] == 255
+
+    def test_pgm_fixed_range(self, tmp_path):
+        img = np.full((2, 2), 0.5)
+        path = tmp_path / "img.pgm"
+        save_pgm(path, img, vmin=0.0, vmax=1.0)
+        pixels = np.frombuffer(path.read_bytes().split(b"255\n", 1)[1], dtype=np.uint8)
+        assert (pixels == 127).all()
+
+    def test_pgm_validates_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_pgm(tmp_path / "x.pgm", np.zeros(5))
+
+    def test_ascii_preview_shape(self):
+        img = np.zeros((64, 64))
+        img[:32] = 1.0
+        out = ascii_preview(img, width=16)
+        lines = out.splitlines()
+        assert len(lines) == 8  # rows halved for character aspect ratio
+        assert all(len(l) == 16 for l in lines)
+        assert "@" in lines[0] and lines[-1].strip() == ""
+
+    def test_ascii_constant_image(self):
+        out = ascii_preview(np.ones((8, 8)), width=4)
+        assert set(out.replace("\n", "")) == {" "}
+
+    def test_ascii_tiny_image(self):
+        assert ascii_preview(np.ones((1, 1))).strip() == ""
+
+    def test_ascii_validates_shape(self):
+        with pytest.raises(ValueError):
+            ascii_preview(np.zeros(5))

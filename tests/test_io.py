@@ -1,0 +1,87 @@
+"""Tests for operator persistence (save/load roundtrip)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OperatorConfig, preprocess
+from repro.geometry import ParallelBeamGeometry
+from repro.io import load_operator, save_operator
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    g = ParallelBeamGeometry(30, 20)
+    op, _ = preprocess(
+        g, config=OperatorConfig(kernel="buffered", partition_size=32, buffer_bytes=2048)
+    )
+    path = tmp_path_factory.mktemp("ops") / "op.npz"
+    save_operator(path, op)
+    return g, op, path
+
+
+class TestRoundtrip:
+    def test_geometry_restored(self, saved):
+        _, op, path = saved
+        loaded = load_operator(path)
+        assert loaded.geometry.sinogram_shape == op.geometry.sinogram_shape
+        assert loaded.geometry.grid.n == op.geometry.grid.n
+        assert loaded.geometry.angle_range == op.geometry.angle_range
+
+    def test_matrix_identical(self, saved):
+        _, op, path = saved
+        loaded = load_operator(path)
+        np.testing.assert_array_equal(loaded.matrix.displ, op.matrix.displ)
+        np.testing.assert_array_equal(loaded.matrix.ind, op.matrix.ind)
+        np.testing.assert_array_equal(loaded.matrix.val, op.matrix.val)
+
+    def test_kernels_behave_identically(self, saved, rng):
+        _, op, path = saved
+        loaded = load_operator(path)
+        x = rng.random(op.num_pixels).astype(np.float32)
+        y = rng.random(op.num_rays).astype(np.float32)
+        np.testing.assert_allclose(loaded.forward(x), op.forward(x), rtol=1e-6)
+        np.testing.assert_allclose(loaded.adjoint(y), op.adjoint(y), rtol=1e-6)
+
+    def test_orderings_restored(self, saved):
+        _, op, path = saved
+        loaded = load_operator(path)
+        assert loaded.tomo_ordering.name == op.tomo_ordering.name
+        np.testing.assert_array_equal(loaded.tomo_ordering.perm, op.tomo_ordering.perm)
+        np.testing.assert_array_equal(loaded.sino_ordering.rank, op.sino_ordering.rank)
+
+    def test_config_restored(self, saved):
+        _, op, path = saved
+        loaded = load_operator(path)
+        assert loaded.config == op.config
+        assert loaded.buffered_forward is not None
+
+    def test_reconstruction_through_loaded_operator(self, saved, rng):
+        g, op, path = saved
+        from repro.core import reconstruct
+
+        loaded = load_operator(path)
+        sino = rng.random(g.sinogram_shape)
+        a = reconstruct(sino, g, iterations=5, operator=op)
+        b = reconstruct(sino, g, iterations=5, operator=loaded)
+        np.testing.assert_allclose(a.image, b.image, rtol=1e-5, atol=1e-7)
+
+    def test_csr_kernel_config(self, tmp_path):
+        g = ParallelBeamGeometry(10, 8)
+        op, _ = preprocess(g, config=OperatorConfig(kernel="csr"))
+        path = tmp_path / "csr.npz"
+        save_operator(path, op)
+        loaded = load_operator(path)
+        assert loaded.config.kernel == "csr"
+        assert loaded.buffered_forward is None
+
+    def test_version_check(self, saved, tmp_path):
+        _, op, path = saved
+        import numpy as np
+
+        with np.load(path) as data:
+            arrays = dict(data)
+        arrays["format_version"] = np.int64(99)
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, **arrays)
+        with pytest.raises(ValueError):
+            load_operator(bad)

@@ -1,0 +1,162 @@
+"""Tests for machine specs, the performance model, and tuning sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    DEVICES,
+    MACHINES,
+    KernelProfile,
+    PerformanceModel,
+    best_configuration,
+    evaluate_configuration,
+    get_device,
+    get_machine,
+    heatmap,
+    sweep_tuning,
+)
+
+
+class TestSpecs:
+    def test_table2_devices_present(self):
+        assert set(DEVICES) == {"KNL", "K20X", "K80", "P100", "V100"}
+
+    def test_table2_machines_present(self):
+        assert set(MACHINES) == {"theta", "bluewaters", "cooley", "minsky", "dgx1"}
+
+    def test_table2_key_values(self):
+        knl = get_device("KNL")
+        assert knl.fast_mem_bytes == 16 * (1 << 30)  # 16 GB MCDRAM
+        assert knl.fast_mem_bw == 400e9  # 400 GB/s
+        assert knl.slow_mem_bw == 90e9  # 90 GB/s DDR4
+        assert get_device("V100").fast_mem_bw == 900e9
+        assert get_device("P100").fast_mem_bw == 720e9
+
+    def test_node_counts(self):
+        assert get_machine("theta").num_nodes == 4392
+        assert get_machine("bluewaters").num_nodes == 4228
+        assert get_machine("cooley").num_nodes == 126
+
+    def test_unknown_names(self):
+        with pytest.raises(KeyError):
+            get_device("A100")
+        with pytest.raises(KeyError):
+            get_machine("frontier")
+
+
+class TestPerformanceModel:
+    NNZ = 10_000_000
+
+    def test_lower_miss_rate_is_faster(self):
+        pm = PerformanceModel(get_device("KNL"))
+        fast = pm.gflops(KernelProfile.csr_baseline(self.NNZ, miss_rate=0.05))
+        slow = pm.gflops(KernelProfile.csr_baseline(self.NNZ, miss_rate=0.40))
+        assert fast > slow
+
+    def test_buffered_beats_csr_at_same_miss_rate(self):
+        pm = PerformanceModel(get_device("KNL"))
+        csr = KernelProfile.csr_baseline(self.NNZ, miss_rate=0.05)
+        buf = KernelProfile.buffered(self.NNZ, map_length=self.NNZ // 40, miss_rate=0.5)
+        assert pm.gflops(buf, smt=4) > pm.gflops(csr, smt=4)
+
+    def test_knl_baseline_is_latency_bound(self):
+        """High miss rates must push the baseline far below the
+        bandwidth roofline — the Fig. 9(a) falling-baseline effect."""
+        pm = PerformanceModel(get_device("KNL"))
+        profile = KernelProfile.csr_baseline(self.NNZ, miss_rate=0.5)
+        bw_only = KernelProfile(
+            nnz=self.NNZ,
+            irregular_accesses=self.NNZ,
+            miss_rate=0.5,
+            latency_bound=False,
+        )
+        assert pm.projection_time(profile) > 2 * pm.projection_time(bw_only)
+
+    def test_mcdram_blending(self):
+        """Regular data beyond 16 GB spills to DDR: bandwidth must drop
+        monotonically and approach the DDR rate."""
+        pm = PerformanceModel(get_device("KNL"))
+        small = pm.effective_bandwidth(1e9)
+        medium = pm.effective_bandwidth(28e9)  # ADS3's partial-caching case
+        large = pm.effective_bandwidth(1e12)
+        assert small > medium > large
+        assert small == pytest.approx(0.78 * 400e9)
+        assert large < 1.3 * 0.78 * 90e9
+
+    def test_gpu_has_single_memory(self):
+        pm = PerformanceModel(get_device("V100"))
+        assert pm.effective_bandwidth(1e9) == pm.effective_bandwidth(1e13)
+
+    def test_smt_hides_latency_on_knl(self):
+        pm = PerformanceModel(get_device("KNL"))
+        p = KernelProfile.csr_baseline(self.NNZ, miss_rate=0.4)
+        assert pm.gflops(p, smt=4) > pm.gflops(p, smt=1)
+
+    def test_gpu_ranking_matches_bandwidth(self):
+        """V100 > P100 > K80 for the same bandwidth-bound profile —
+        paper Fig. 9(d)-(f) ordering."""
+        p = KernelProfile.buffered(self.NNZ, map_length=self.NNZ // 40, miss_rate=0.3)
+        rates = [PerformanceModel(get_device(d)).gflops(p) for d in ("K80", "P100", "V100")]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_bandwidth_utilization_below_roofline(self):
+        dev = get_device("KNL")
+        pm = PerformanceModel(dev)
+        p = KernelProfile.buffered(self.NNZ, map_length=self.NNZ // 40, miss_rate=0.2)
+        assert pm.bandwidth_utilization(p, smt=4) <= dev.fast_mem_bw / 1e9
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            KernelProfile(nnz=-1, irregular_accesses=0, miss_rate=0.0)
+        with pytest.raises(ValueError):
+            KernelProfile(nnz=1, irregular_accesses=1, miss_rate=1.5)
+
+
+class TestTuning:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        from repro.geometry import ParallelBeamGeometry
+        from repro.ordering import make_ordering
+        from repro.sparse import CSRMatrix
+        from repro.trace import build_projection_matrix
+
+        g = ParallelBeamGeometry(60, 48)
+        A = CSRMatrix.from_scipy(build_projection_matrix(g))
+        tomo = make_ordering("pseudo-hilbert", 48, 48, min_tiles=16)
+        sino = make_ordering("pseudo-hilbert", 60, 48, min_tiles=16)
+        return A.permute(sino.perm, tomo.rank).sort_rows_by_index()
+
+    def test_sweep_and_best(self, matrix):
+        pts = sweep_tuning(
+            matrix, DEVICES["KNL"], [32, 128], [4096, 16384], smts=[1, 2, 4]
+        )
+        assert len(pts) == 12
+        best = best_configuration(pts)
+        assert best.valid and best.gflops > 0
+
+    def test_knl_leak_penalty(self, matrix):
+        """4 SMT x 16 KB = 64 KB > 32 KB L1 must leak; 4 x 8 KB must not
+        (the Fig. 10 optimum structure)."""
+        leak = evaluate_configuration(matrix, DEVICES["KNL"], 128, 16384, smt=4)
+        fit = evaluate_configuration(matrix, DEVICES["KNL"], 128, 8192, smt=4)
+        assert leak.leak_fraction > 0
+        assert fit.leak_fraction == 0
+
+    def test_gpu_shared_memory_limit(self, matrix):
+        """Buffers beyond 48 KB are invalid on P100 (addressable shared
+        memory), valid on V100 (96 KB)."""
+        p100 = evaluate_configuration(matrix, DEVICES["P100"], 512, 96 * 1024)
+        v100 = evaluate_configuration(matrix, DEVICES["V100"], 512, 96 * 1024)
+        assert not p100.valid
+        assert v100.valid
+
+    def test_heatmap_layout(self, matrix):
+        pts = sweep_tuning(matrix, DEVICES["KNL"], [32, 128], [4096, 16384], smts=[2])
+        grid, parts, buffers = heatmap(pts, smt=2)
+        assert grid.shape == (2, 2)
+        assert parts == [32, 128] and buffers == [4096, 16384]
+        assert np.isfinite(grid).all()
+
+    def test_best_requires_valid_points(self):
+        with pytest.raises(ValueError):
+            best_configuration([])

@@ -1,0 +1,91 @@
+"""Tests for measurement-side utilities (normalization, COR)."""
+
+import numpy as np
+import pytest
+
+from repro.measurement import (
+    estimate_center_of_rotation,
+    normalize_counts,
+    simulate_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def clean_sinogram():
+    from repro.core import get_dataset, preprocess
+
+    spec = get_dataset("ADS1").scaled(0.25)
+    op, _ = preprocess(spec.geometry())
+    return op.project_image(spec.phantom())
+
+
+class TestNormalization:
+    def test_roundtrip_at_high_dose(self, clean_sinogram):
+        raw = simulate_counts(clean_sinogram, incident_photons=1e7, seed=0)
+        sino = normalize_counts(
+            raw["counts"], raw["flat"], raw["dark"], float(raw["attenuation_scale"])
+        )
+        err = np.abs(sino - clean_sinogram).mean()
+        assert err < 0.01 * clean_sinogram.mean()
+
+    def test_noise_decreases_with_dose(self, clean_sinogram):
+        def residual(photons):
+            raw = simulate_counts(clean_sinogram, incident_photons=photons, seed=1)
+            sino = normalize_counts(
+                raw["counts"], raw["flat"], raw["dark"], float(raw["attenuation_scale"])
+            )
+            return np.std(sino - clean_sinogram)
+
+        assert residual(1e6) < 0.3 * residual(1e3)
+
+    def test_dark_field_removed(self, clean_sinogram):
+        """A large dark offset must not bias the normalized sinogram."""
+        raw = simulate_counts(clean_sinogram, incident_photons=1e7, dark_level=500.0, seed=2)
+        sino = normalize_counts(
+            raw["counts"], raw["flat"], raw["dark"], float(raw["attenuation_scale"])
+        )
+        assert np.abs(sino - clean_sinogram).mean() < 0.02 * clean_sinogram.mean()
+
+    def test_finite_on_dead_pixels(self, clean_sinogram):
+        raw = simulate_counts(clean_sinogram, incident_photons=100, seed=3)
+        raw["counts"][0, 0] = 0.0  # dead pixel
+        sino = normalize_counts(
+            raw["counts"], raw["flat"], raw["dark"], float(raw["attenuation_scale"])
+        )
+        assert np.isfinite(sino).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalize_counts(np.ones((2, 2)), np.ones((2, 3)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            normalize_counts(np.ones((2, 2)), np.ones((2, 2)), np.ones((2, 2)),
+                             attenuation_scale=0.0)
+        with pytest.raises(ValueError):
+            simulate_counts(np.ones((2, 2)), incident_photons=-1)
+
+
+class TestCenterOfRotation:
+    def test_centered_scan(self, clean_sinogram):
+        n = clean_sinogram.shape[1]
+        cor = estimate_center_of_rotation(clean_sinogram)
+        assert cor == pytest.approx((n - 1) / 2.0, abs=0.25)
+
+    @pytest.mark.parametrize("shift", [-4, -1, 2, 5])
+    def test_shifted_scan(self, clean_sinogram, shift):
+        shifted = np.roll(clean_sinogram, shift, axis=1)
+        n = clean_sinogram.shape[1]
+        cor = estimate_center_of_rotation(shifted)
+        assert cor == pytest.approx((n - 1) / 2.0 + shift, abs=0.3)
+
+    def test_robust_to_noise(self, clean_sinogram):
+        rng = np.random.default_rng(0)
+        noisy = clean_sinogram + rng.normal(scale=0.05 * clean_sinogram.max(),
+                                            size=clean_sinogram.shape)
+        n = clean_sinogram.shape[1]
+        assert estimate_center_of_rotation(noisy) == pytest.approx((n - 1) / 2.0, abs=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_center_of_rotation(np.zeros(5))
+        with pytest.raises(ValueError):
+            estimate_center_of_rotation(np.zeros((1, 5)))

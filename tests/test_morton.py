@@ -1,0 +1,58 @@
+"""Tests for Morton (Z-order) encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering import morton_decode, morton_encode
+
+
+class TestMorton:
+    def test_known_codes(self):
+        # Bit interleaving: (x=1, y=0) -> 1, (x=0, y=1) -> 2, (x=1, y=1) -> 3.
+        x = np.array([0, 1, 0, 1, 2, 3])
+        y = np.array([0, 0, 1, 1, 2, 3])
+        np.testing.assert_array_equal(morton_encode(x, y), [0, 1, 2, 3, 12, 15])
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 1 << 20, size=50)
+        y = rng.integers(0, 1 << 20, size=50)
+        code = morton_encode(x, y)
+        x2, y2 = morton_decode(code)
+        np.testing.assert_array_equal(x, x2)
+        np.testing.assert_array_equal(y, y2)
+
+    def test_large_coordinates(self):
+        x = np.array([(1 << 31) - 1])
+        y = np.array([(1 << 31) - 1])
+        code = morton_encode(x, y)
+        x2, y2 = morton_decode(code)
+        assert x2[0] == x[0] and y2[0] == y[0]
+
+    def test_quadrant_structure(self):
+        """Codes 0..3 fill the 2x2 block, 0..15 the 4x4 block, etc."""
+        x, y = morton_decode(np.arange(16))
+        assert x.max() == 3 and y.max() == 3
+        x, y = morton_decode(np.arange(4))
+        assert x.max() == 1 and y.max() == 1
+
+    def test_disconnected_jumps_exist(self):
+        """The property that disqualifies Morton for partition locality
+        (paper Section 3.2.3): consecutive codes can be far apart."""
+        x, y = morton_decode(np.arange(64))
+        steps = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert steps.max() > 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([-1]), np.array([0]))
+        with pytest.raises(ValueError):
+            morton_decode(np.array([-5]))
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([1 << 31]), np.array([0]))

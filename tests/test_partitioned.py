@@ -1,0 +1,129 @@
+"""Tests for the distributed A = R C A_p operator (paper Section 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.dist import DistributedOperator, SimComm, decompose_both
+from repro.sparse import scan_transpose
+
+
+@pytest.fixture(scope="module")
+def setup(ordered_medium):
+    matrix, tomo, sino = ordered_medium
+    return matrix, tomo, sino
+
+
+def _make_op(setup, ranks, comm=None):
+    matrix, tomo, sino = setup
+    td, sd = decompose_both(tomo, sino, ranks)
+    return DistributedOperator(matrix, td, sd, comm=comm)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("ranks", [1, 2, 3, 4, 8, 16])
+    def test_forward_matches_serial(self, setup, ranks, rng):
+        matrix, _, _ = setup
+        op = _make_op(setup, ranks)
+        x = rng.random(matrix.num_cols).astype(np.float32)
+        np.testing.assert_allclose(op.forward(x), matrix.spmv(x), rtol=1e-4, atol=1e-4)
+
+    @pytest.mark.parametrize("ranks", [1, 2, 5, 16])
+    def test_adjoint_matches_serial(self, setup, ranks, rng):
+        matrix, _, _ = setup
+        op = _make_op(setup, ranks)
+        y = rng.random(matrix.num_rows).astype(np.float32)
+        ref = scan_transpose(matrix).spmv(y)
+        np.testing.assert_allclose(op.adjoint(y), ref, rtol=1e-4, atol=1e-4)
+
+    def test_adjoint_consistency(self, setup, rng):
+        """<A x, y> == <x, A^T y> (inner-product test)."""
+        matrix, _, _ = setup
+        op = _make_op(setup, 4)
+        x = rng.random(matrix.num_cols).astype(np.float32)
+        y = rng.random(matrix.num_rows).astype(np.float32)
+        lhs = float(np.dot(op.forward(x), y.astype(np.float64)))
+        rhs = float(np.dot(x.astype(np.float64), op.adjoint(y)))
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+    def test_pieces_api(self, setup, rng):
+        matrix, _, _ = setup
+        op = _make_op(setup, 4)
+        x = rng.random(matrix.num_cols).astype(np.float32)
+        pieces = op.tomo_dec.scatter(x)
+        y_pieces = op.forward_pieces(pieces)
+        assert len(y_pieces) == 4
+        np.testing.assert_allclose(
+            op.sino_dec.gather(y_pieces), matrix.spmv(x), rtol=1e-4, atol=1e-4
+        )
+
+
+class TestStructure:
+    def test_per_rank_nnz_sums_to_total(self, setup):
+        matrix, _, _ = setup
+        op = _make_op(setup, 8)
+        assert op.per_rank_nnz().sum() == matrix.nnz
+
+    def test_comm_matrix_is_sparse(self, setup):
+        """Only interacting pairs communicate (paper Fig. 7(c))."""
+        op = _make_op(setup, 16)
+        volume = op.communication_matrix()
+        assert np.trace(volume) == 0
+        assert (volume == 0).any()  # some pairs never talk
+
+    def test_backprojection_comm_is_transpose(self, setup, rng):
+        """Paper Section 3.4.2: the backprojection communication matrix
+        is the transpose of the forward one."""
+        matrix, _, _ = setup
+        comm = SimComm(8)
+        op = _make_op(setup, 8, comm=comm)
+        x = rng.random(matrix.num_cols).astype(np.float32)
+        op.forward(x)
+        fwd_vol = comm.log.volume_bytes.copy()
+        comm.reset_log()
+        op.adjoint(rng.random(matrix.num_rows).astype(np.float32))
+        adj_vol = comm.log.volume_bytes
+        np.testing.assert_array_equal(adj_vol, fwd_vol.T)
+
+    def test_logged_volume_matches_plan(self, setup, rng):
+        matrix, _, _ = setup
+        comm = SimComm(4)
+        op = _make_op(setup, 4, comm=comm)
+        op.forward(rng.random(matrix.num_cols).astype(np.float32))
+        planned = op.communication_matrix()
+        logged = comm.log.volume_bytes.copy()
+        np.fill_diagonal(logged, 0)
+        np.testing.assert_array_equal(logged, planned)
+
+    def test_comm_volume_grows_sublinearly(self, setup):
+        """Total footprint ~ sqrt(P): quadrupling ranks roughly doubles
+        the exchanged volume (paper Section 3.4.3)."""
+        v4 = _make_op(setup, 4).communication_matrix().sum()
+        v16 = _make_op(setup, 16).communication_matrix().sum()
+        assert 1.3 < v16 / v4 < 3.5
+
+    def test_reduction_elements(self, setup):
+        op = _make_op(setup, 4)
+        assert op.reduction_elements() >= op.num_rays  # overlap duplicates rows
+        solo = _make_op(setup, 1)
+        assert solo.reduction_elements() == solo.num_rays
+
+    def test_interaction_counts(self, setup):
+        op = _make_op(setup, 8)
+        partners = op.interaction_counts()
+        assert partners.shape == (8,)
+        assert (partners >= 1).all() and (partners <= 7).all()
+
+
+class TestValidation:
+    def test_rank_mismatch_rejected(self, setup):
+        matrix, tomo, sino = setup
+        td, _ = decompose_both(tomo, sino, 4)
+        _, sd = decompose_both(tomo, sino, 8)
+        with pytest.raises(ValueError):
+            DistributedOperator(matrix, td, sd)
+
+    def test_domain_mismatch_rejected(self, setup):
+        matrix, tomo, sino = setup
+        td, sd = decompose_both(tomo, tomo, 4)  # wrong sinogram domain
+        with pytest.raises(ValueError):
+            DistributedOperator(matrix, td, sd)

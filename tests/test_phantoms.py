@@ -1,0 +1,99 @@
+"""Tests for phantoms and the Beer-law noise model."""
+
+import numpy as np
+import pytest
+
+from repro.phantoms import beer_law_sinogram, brain_phantom, shale_phantom, shepp_logan
+
+
+class TestSheppLogan:
+    def test_shape_and_range(self):
+        img = shepp_logan(64)
+        assert img.shape == (64, 64)
+        assert img.max() <= 1.0 + 1e-12
+        assert img.min() >= -1e-12
+
+    def test_skull_brighter_than_interior(self):
+        img = shepp_logan(128)
+        assert img[64, 5] == 0.0  # outside
+        # skull ellipse ring near the left edge of the head
+        assert img[64, 20] == pytest.approx(1.0)
+        assert 0.0 < img[64, 64] < 0.5  # brain tissue
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(shepp_logan(32), shepp_logan(32))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            shepp_logan(0)
+
+
+class TestSyntheticPhantoms:
+    @pytest.mark.parametrize("factory", [shale_phantom, brain_phantom])
+    def test_nonnegative_and_bounded(self, factory):
+        img = factory(64, seed=0)
+        assert img.shape == (64, 64)
+        assert img.min() >= 0.0
+        assert img.max() < 3.0
+
+    @pytest.mark.parametrize("factory", [shale_phantom, brain_phantom])
+    def test_seed_determinism(self, factory):
+        np.testing.assert_array_equal(factory(48, seed=7), factory(48, seed=7))
+        assert not np.array_equal(factory(48, seed=7), factory(48, seed=8))
+
+    @pytest.mark.parametrize("factory", [shale_phantom, brain_phantom])
+    def test_support_inside_disk(self, factory):
+        img = factory(64, seed=1)
+        c = (np.arange(64) + 0.5) / 64 * 2 - 1
+        x, y = np.meshgrid(c, c, indexing="xy")
+        outside = x * x + y * y > 0.97**2
+        np.testing.assert_array_equal(img[outside], 0.0)
+
+    def test_brain_has_multiscale_content(self):
+        """Vessels must create bright fine structure inside the tissue."""
+        img = brain_phantom(128, seed=0)
+        interior = img[30:98, 30:98]
+        assert (interior > 0.55).sum() > 20  # vessel pixels exist
+        assert interior.std() > 0.05
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            shale_phantom(-1)
+
+
+class TestBeerLawNoise:
+    def test_unbiased_at_high_dose(self):
+        clean = np.linspace(0.1, 2.0, 200).reshape(20, 10)
+        noisy = beer_law_sinogram(clean, incident_photons=1e8, seed=0)
+        np.testing.assert_allclose(noisy, clean, rtol=0.02, atol=0.01)
+
+    def test_noise_grows_at_low_dose(self):
+        clean = np.full((50, 50), 1.0)
+        low = beer_law_sinogram(clean, incident_photons=100, seed=1)
+        high = beer_law_sinogram(clean, incident_photons=1e6, seed=1)
+        assert np.std(low - clean) > 5 * np.std(high - clean)
+
+    def test_shape_preserved(self):
+        clean = np.ones((7, 13))
+        assert beer_law_sinogram(clean, 1e4).shape == (7, 13)
+
+    def test_deterministic_per_seed(self):
+        clean = np.ones((5, 5))
+        a = beer_law_sinogram(clean, 1e3, seed=3)
+        b = beer_law_sinogram(clean, 1e3, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_attenuation_scale_override(self):
+        clean = np.full((10, 10), 4.0)
+        noisy = beer_law_sinogram(clean, incident_photons=1e8, seed=0, attenuation_scale=0.25)
+        np.testing.assert_allclose(noisy, clean, rtol=0.05)
+
+    def test_invalid_photons(self):
+        with pytest.raises(ValueError):
+            beer_law_sinogram(np.ones((2, 2)), incident_photons=0)
+
+    def test_finite_even_at_extreme_attenuation(self):
+        """Fully opaque rays must not produce inf (count floor of 1)."""
+        clean = np.full((4, 4), 100.0)
+        noisy = beer_law_sinogram(clean, incident_photons=10, seed=0, attenuation_scale=1.0)
+        assert np.isfinite(noisy).all()

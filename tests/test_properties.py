@@ -1,0 +1,123 @@
+"""Property-based invariants spanning the core data structures.
+
+These are the load-bearing algebraic facts the system relies on:
+linearity of every SpMV kernel, exact adjointness of the transpose
+pair, bijectivity of every ordering, and equality of all kernel/layout
+variants on arbitrary inputs.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import ParallelBeamGeometry
+from repro.ordering import make_ordering
+from repro.sparse import CSRMatrix, build_buffered, build_ell, scan_transpose
+from repro.trace import build_projection_matrix
+
+
+def _random_matrix(rows, cols, seed, density=0.2):
+    rng = np.random.default_rng(seed)
+    S = sp.random(rows, cols, density=density, random_state=rng, format="csr", dtype=np.float32)
+    return CSRMatrix.from_scipy(S).sort_rows_by_index()
+
+
+class TestKernelAlgebra:
+    @given(seed=st.integers(0, 10**6), a=st.floats(-3, 3), b=st.floats(-3, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_spmv_linearity(self, seed, a, b):
+        A = _random_matrix(30, 25, seed)
+        rng = np.random.default_rng(seed + 1)
+        x = rng.standard_normal(25).astype(np.float32)
+        y = rng.standard_normal(25).astype(np.float32)
+        combined = A.spmv((a * x + b * y).astype(np.float32))
+        split = a * A.spmv(x) + b * A.spmv(y)
+        np.testing.assert_allclose(combined, split, atol=1e-3)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_adjoint_inner_product(self, seed):
+        """<A x, y> == <x, A^T y> for the scan-transposed pair."""
+        A = _random_matrix(40, 30, seed)
+        AT = scan_transpose(A)
+        rng = np.random.default_rng(seed + 2)
+        x = rng.standard_normal(30).astype(np.float32)
+        y = rng.standard_normal(40).astype(np.float32)
+        lhs = float(A.spmv(x).astype(np.float64) @ y)
+        rhs = float(x.astype(np.float64) @ AT.spmv(y))
+        assert lhs == pytest.approx(rhs, rel=1e-3, abs=1e-3)
+
+    @given(
+        seed=st.integers(0, 10**6),
+        partition=st.sampled_from([1, 7, 16]),
+        buffer_elems=st.sampled_from([2, 8, 64]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_all_layouts_agree(self, seed, partition, buffer_elems):
+        A = _random_matrix(35, 28, seed)
+        rng = np.random.default_rng(seed + 3)
+        x = rng.standard_normal(28).astype(np.float32)
+        ref = A.spmv(x)
+        np.testing.assert_allclose(build_ell(A, partition).spmv(x), ref, atol=1e-3)
+        buf = build_buffered(A, partition, buffer_elems * 4)
+        np.testing.assert_allclose(buf.spmv_vectorized(x), ref, atol=1e-3)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_double_transpose_identity(self, seed):
+        A = _random_matrix(25, 25, seed)
+        TT = scan_transpose(scan_transpose(A))
+        np.testing.assert_allclose(
+            TT.to_scipy().toarray(), A.to_scipy().toarray(), atol=1e-6
+        )
+
+
+class TestOrderingAlgebra:
+    @given(
+        rows=st.integers(2, 24),
+        cols=st.integers(2, 24),
+        name=st.sampled_from(["morton", "hilbert", "pseudo-hilbert"]),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reorder_preserves_multiset(self, rows, cols, name, seed):
+        o = make_ordering(name, rows, cols)
+        data = np.random.default_rng(seed).standard_normal(rows * cols)
+        reordered = o.to_ordered(data)
+        assert sorted(reordered.tolist()) == sorted(data.tolist())
+        np.testing.assert_array_equal(o.from_ordered(reordered).ravel(), data)
+
+    @given(rows=st.integers(2, 20), cols=st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_permutation_consistency(self, rows, cols):
+        o = make_ordering("pseudo-hilbert", rows, cols)
+        np.testing.assert_array_equal(o.perm[o.rank], np.arange(rows * cols))
+        np.testing.assert_array_equal(o.rank[o.perm], np.arange(rows * cols))
+
+
+class TestTracedOperatorProperties:
+    @given(angles=st.integers(4, 20), channels=st.sampled_from([8, 12, 16]))
+    @settings(max_examples=10, deadline=None)
+    def test_projection_is_nonnegative_operator(self, angles, channels):
+        """A has non-negative entries: projecting a non-negative image
+        yields a non-negative sinogram."""
+        g = ParallelBeamGeometry(angles, channels)
+        A = CSRMatrix.from_scipy(build_projection_matrix(g))
+        x = np.abs(np.random.default_rng(0).standard_normal(A.num_cols)).astype(np.float32)
+        assert (A.spmv(x) >= -1e-6).all()
+
+    @given(angles=st.integers(4, 16))
+    @settings(max_examples=8, deadline=None)
+    def test_mass_preservation_per_angle(self, angles):
+        """Summing a projection over channels integrates the image:
+        every angle sees the same total mass (within discretization)."""
+        g = ParallelBeamGeometry(angles, 16)
+        A = CSRMatrix.from_scipy(build_projection_matrix(g))
+        rng = np.random.default_rng(1)
+        img = np.zeros((16, 16))
+        img[4:12, 4:12] = rng.random((8, 8))  # interior support
+        y = A.spmv(img.reshape(-1).astype(np.float32)).reshape(angles, 16)
+        masses = y.sum(axis=1)
+        assert masses.max() - masses.min() < 0.05 * masses.mean()

@@ -1,0 +1,117 @@
+"""Tests for the two-level pseudo-Hilbert ordering (paper Section 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering import choose_tile_size, pseudo_hilbert_order
+
+
+class TestChooseTileSize:
+    def test_power_of_two(self):
+        for rows, cols in [(13, 11), (100, 7), (64, 64), (5, 5)]:
+            t = choose_tile_size(rows, cols)
+            assert t >= 1 and (t & (t - 1)) == 0
+
+    def test_respects_min_tiles(self):
+        t = choose_tile_size(64, 64, min_tiles=64)
+        tiles = -(-64 // t) * (-(-64 // t))
+        assert tiles >= 64
+
+    def test_tile_not_larger_than_domain(self):
+        assert choose_tile_size(13, 11) <= 11
+
+    def test_paper_example_13x11(self):
+        """Fig. 4: a 13x11 domain covered by 4x4 tiles (12 tiles)."""
+        t = choose_tile_size(13, 11, min_tiles=12)
+        assert t == 4
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            choose_tile_size(0, 5)
+
+
+class TestTwoLevelOrdering:
+    @pytest.mark.parametrize(
+        "rows,cols,tile",
+        [(13, 11, 4), (16, 16, 4), (16, 16, 8), (7, 9, 2), (32, 32, 8), (11, 13, None), (1, 1, 1)],
+    )
+    def test_is_permutation(self, rows, cols, tile):
+        o = pseudo_hilbert_order(rows, cols, tile_size=tile)
+        assert np.unique(o.perm).shape[0] == rows * cols
+        np.testing.assert_array_equal(o.perm[o.rank], np.arange(rows * cols))
+
+    @given(rows=st.integers(1, 30), cols=st.integers(1, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_bijective_property(self, rows, cols):
+        o = pseudo_hilbert_order(rows, cols)
+        assert np.unique(o.perm).shape[0] == rows * cols
+
+    @pytest.mark.parametrize("rows,cols,tile", [(16, 16, 4), (32, 32, 8), (64, 64, 8)])
+    def test_perfect_connectivity_on_aligned_squares(self, rows, cols, tile):
+        """When tiles divide the domain exactly, the curve is fully
+        connected — every consecutive pair is a 2D neighbour."""
+        o = pseudo_hilbert_order(rows, cols, tile_size=tile)
+        x = o.perm % cols
+        y = o.perm // cols
+        steps = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert np.all(steps == 1)
+
+    def test_near_connectivity_on_arbitrary_rectangles(self):
+        """Boundary-clipped tiles may break adjacency occasionally, but
+        the overwhelming majority of steps stay unit length."""
+        o = pseudo_hilbert_order(13, 11, tile_size=4)
+        x = o.perm % 11
+        y = o.perm // 11
+        steps = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert np.mean(steps == 1) > 0.95
+
+    def test_tile_structure_consistent(self):
+        o = pseudo_hilbert_order(13, 11, tile_size=4)
+        assert o.num_tiles == 12  # paper Fig. 4(a)
+        assert o.tile_displ[0] == 0
+        assert o.tile_displ[-1] == 13 * 11
+        assert o.tile_of.shape == o.perm.shape
+        # tile_of must be non-decreasing along the curve
+        assert np.all(np.diff(o.tile_of) >= 0)
+
+    def test_tiles_are_spatially_compact(self):
+        o = pseudo_hilbert_order(32, 32, tile_size=8)
+        x = o.perm % 32
+        y = o.perm // 32
+        for t in range(o.num_tiles):
+            lo, hi = o.tile_displ[t], o.tile_displ[t + 1]
+            assert x[lo:hi].max() - x[lo:hi].min() < 8
+            assert y[lo:hi].max() - y[lo:hi].min() < 8
+
+    def test_cache_line_block_locality(self):
+        """A 16-element run maps into a small 2D block (Fig. 5's 4x4
+        cache-line argument), unlike row-major's 1x16 strip."""
+        o = pseudo_hilbert_order(16, 16, tile_size=4)
+        x = o.perm % 16
+        y = o.perm // 16
+        for start in range(0, 256, 16):
+            w = x[start : start + 16].max() - x[start : start + 16].min() + 1
+            h = y[start : start + 16].max() - y[start : start + 16].min() + 1
+            assert max(w, h) <= 4
+
+    def test_to_from_ordered_roundtrip(self):
+        o = pseudo_hilbert_order(9, 7, tile_size=2)
+        img = np.arange(63).reshape(9, 7)
+        np.testing.assert_array_equal(o.from_ordered(o.to_ordered(img)), img)
+
+    def test_to_ordered_validates_length(self):
+        o = pseudo_hilbert_order(4, 4, tile_size=2)
+        with pytest.raises(ValueError):
+            o.to_ordered(np.zeros(15))
+        with pytest.raises(ValueError):
+            o.from_ordered(np.zeros(17))
+
+    def test_non_power_of_two_tile_rejected(self):
+        with pytest.raises(ValueError):
+            pseudo_hilbert_order(8, 8, tile_size=3)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            pseudo_hilbert_order(0, 4)

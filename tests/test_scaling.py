@@ -1,0 +1,135 @@
+"""Tests for the scaling-experiment driver (paper Fig. 11 mechanics)."""
+
+import pytest
+
+from repro.dist import (
+    model_preprocessing_time,
+    model_solution_time,
+    strong_scaling_series,
+    weak_scaling_series,
+)
+from repro.machine import get_machine
+
+
+class TestModelSolutionTime:
+    def test_kernel_breakdown_positive(self):
+        pt = model_solution_time(1500, 1024, get_machine("theta"), 64)
+        assert pt.ap_seconds > 0
+        assert pt.comm_seconds > 0
+        assert pt.reduction_seconds >= 0
+        assert pt.total_seconds == pytest.approx(
+            pt.ap_seconds + pt.comm_seconds + pt.reduction_seconds
+        )
+
+    def test_single_node_has_no_comm(self):
+        pt = model_solution_time(750, 512, get_machine("theta"), 1)
+        assert pt.comm_seconds == 0.0
+        assert pt.reduction_seconds == 0.0
+
+    def test_csr_slower_than_buffered(self):
+        buffered = model_solution_time(1500, 1024, get_machine("theta"), 8)
+        csr = model_solution_time(
+            1500, 1024, get_machine("theta"), 8, optimization="csr", miss_rate=0.3
+        )
+        assert csr.ap_seconds > buffered.ap_seconds
+
+    def test_unknown_optimization_rejected(self):
+        with pytest.raises(ValueError):
+            model_solution_time(100, 100, get_machine("theta"), 1, optimization="magic")
+
+    def test_row_format(self):
+        pt = model_solution_time(100, 128, get_machine("theta"), 2)
+        row = pt.row()
+        assert row[0] == 2 and row[1] == "100x128"
+
+
+class TestWeakScaling:
+    def test_ap_stays_flat(self):
+        """Constant work per node: A_p must be near-constant across
+        steps (Fig. 11(a)-(b))."""
+        pts = weak_scaling_series(750, 512, get_machine("theta"), steps=4)
+        ap = [p.ap_seconds for p in pts]
+        assert max(ap) / min(ap) < 2.0
+
+    def test_comm_grows_like_sqrt_p(self):
+        pts = weak_scaling_series(750, 512, get_machine("theta"), steps=4)
+        comm = [p.comm_seconds for p in pts[1:]]
+        # Each step multiplies P by 8 while per-rank payload stays
+        # ~M N / sqrt(P) x (MN grows 4x, sqrt(P) grows ~2.83) -> grows.
+        assert all(b > a for a, b in zip(comm, comm[1:]))
+
+    def test_node_progression(self):
+        pts = weak_scaling_series(360, 256, get_machine("bluewaters"), steps=3)
+        assert [p.num_nodes for p in pts] == [1, 8, 64]
+        assert pts[-1].num_projections == 360 * 4
+
+
+class TestStrongScaling:
+    def test_ap_scales_down(self):
+        pts = strong_scaling_series(
+            4501, 11283, get_machine("theta"), [128, 256, 512, 1024, 2048, 4096]
+        )
+        ap = [p.ap_seconds for p in pts]
+        assert all(b < a for a, b in zip(ap, ap[1:]))
+
+    def test_superlinear_when_fitting_mcdram(self):
+        """Paper Section 4.1.3: going 1 -> 8 nodes can speed A_p by
+        more than 8x when the per-node working set drops into MCDRAM."""
+        one = model_solution_time(1501, 2048, get_machine("theta"), 1)
+        eight = model_solution_time(1501, 2048, get_machine("theta"), 8)
+        assert one.ap_seconds / eight.ap_seconds > 8.0
+
+    def test_communication_eventually_dominates(self):
+        pts = strong_scaling_series(
+            1501, 2048, get_machine("bluewaters"), [32, 128, 512, 2048, 4096]
+        )
+        first, last = pts[0], pts[-1]
+        assert first.comm_seconds < first.ap_seconds
+        assert last.comm_seconds > last.ap_seconds
+
+
+class TestPreprocessing:
+    def test_amdahl_speedup(self):
+        t1 = model_preprocessing_time(1501, 2048, 1)
+        t8 = model_preprocessing_time(1501, 2048, 8)
+        t4096 = model_preprocessing_time(1501, 2048, 4096)
+        assert 6.0 < t1 / t8 <= 8.0
+        assert t1 / t4096 < 4096  # serial fraction caps the speedup
+
+    def test_magnitude_matches_table5(self):
+        """Single-point calibration check: RDS1 on 1 node ~ 139 s."""
+        t1 = model_preprocessing_time(1501, 2048, 1)
+        assert 100 < t1 < 180
+
+
+class TestCommunicationModelTerms:
+    def test_posting_term_grows_with_ranks(self):
+        """Table 1's '+P' term: at fixed per-rank payload, the
+        Alltoallv posting cost makes C grow with rank count."""
+        from repro.dist import model_solution_time
+        from repro.machine import get_machine
+
+        theta = get_machine("theta")
+        # Weak-ish comparison: same per-rank work by scaling M with P.
+        c_small = model_solution_time(1000, 1024, theta, 64).comm_seconds
+        c_large = model_solution_time(8000, 1024, theta, 4096).comm_seconds
+        assert c_large > c_small
+
+    def test_overlap_constant_scales_volume(self):
+        from repro.dist import model_solution_time
+        from repro.machine import get_machine
+
+        theta = get_machine("theta")
+        lo = model_solution_time(1500, 1024, theta, 64, overlap_constant=0.5)
+        hi = model_solution_time(1500, 1024, theta, 64, overlap_constant=2.0)
+        assert hi.comm_seconds > lo.comm_seconds
+        assert hi.ap_seconds == lo.ap_seconds
+
+    def test_handshake_constant_affects_latency_term(self):
+        from repro.dist import model_solution_time
+        from repro.machine import get_machine
+
+        theta = get_machine("theta")
+        few = model_solution_time(1500, 1024, theta, 256, handshake_constant=1.0)
+        many = model_solution_time(1500, 1024, theta, 256, handshake_constant=8.0)
+        assert many.comm_seconds > few.comm_seconds

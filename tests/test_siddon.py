@@ -1,0 +1,109 @@
+"""Tests for Siddon ray tracing: vectorized vs reference, physics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Grid2D, ParallelBeamGeometry
+from repro.trace import RaySegments, trace_angle, trace_ray
+
+
+def _segments_as_dict(segs: RaySegments, ray_index: int) -> dict[int, float]:
+    mask = segs.ray_index == ray_index
+    return dict(zip(segs.pixel_index[mask].tolist(), segs.length[mask].tolist()))
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("angle_index", [0, 3, 7, 11, 17, 23])
+    def test_vectorized_matches_per_ray(self, angle_index):
+        g = ParallelBeamGeometry(24, 16)
+        segs = trace_angle(g, angle_index)
+        for channel in range(0, 16, 3):
+            ref = trace_ray(g, angle_index, channel)
+            ridx = int(g.ray_index(angle_index, channel))
+            vec = _segments_as_dict(segs, ridx)
+            refd = _segments_as_dict(ref, ridx)
+            assert set(vec) == set(refd)
+            for pixel, length in refd.items():
+                assert vec[pixel] == pytest.approx(length, abs=1e-9)
+
+    def test_odd_grid_and_angles(self):
+        g = ParallelBeamGeometry(7, 9)
+        for ai in range(7):
+            segs = trace_angle(g, ai)
+            for ch in range(9):
+                ref = trace_ray(g, ai, ch)
+                ridx = int(g.ray_index(ai, ch))
+                assert _segments_as_dict(segs, ridx).keys() == _segments_as_dict(
+                    ref, ridx
+                ).keys()
+
+
+class TestPhysics:
+    def test_axis_aligned_ray_length(self):
+        """A vertical ray (angle 0) through the grid has total length equal
+        to the grid extent, one unit per pixel."""
+        g = ParallelBeamGeometry(4, 8)
+        segs = trace_angle(g, 0)
+        for ch in range(8):
+            ridx = int(g.ray_index(0, ch))
+            lengths = segs.length[segs.ray_index == ridx]
+            assert lengths.shape[0] == 8
+            np.testing.assert_allclose(lengths, 1.0)
+
+    def test_total_lengths_bounded_by_diameter(self):
+        g = ParallelBeamGeometry(30, 12)
+        diag = 12 * np.sqrt(2.0)
+        for ai in range(30):
+            segs = trace_angle(g, ai)
+            sums = np.zeros(g.num_rays)
+            np.add.at(sums, segs.ray_index, segs.length)
+            assert sums.max() <= diag + 1e-9
+
+    def test_pixel_size_scales_lengths(self):
+        g1 = ParallelBeamGeometry(6, 8)
+        g2 = ParallelBeamGeometry(6, 8, grid=Grid2D(8, pixel_size=2.0))
+        s1 = trace_angle(g1, 2)
+        s2 = trace_angle(g2, 2)
+        assert s2.length.sum() == pytest.approx(2.0 * s1.length.sum(), rel=1e-9)
+
+    def test_diagonal_segment_lengths_bounded_by_sqrt2(self):
+        """At 45 degrees every per-cell crossing is at most sqrt(2) (the
+        pixel diagonal), and near-diagonal crossings longer than one
+        pixel side must occur."""
+        g = ParallelBeamGeometry(8, 8)  # angles k*pi/8; index 2 = pi/4
+        segs = trace_angle(g, 2)
+        assert segs.length.max() <= np.sqrt(2.0) + 1e-9
+        assert segs.length.max() > 1.0
+
+    def test_all_pixels_covered_by_some_ray(self):
+        g = ParallelBeamGeometry(40, 16)
+        covered = np.zeros(g.grid.num_pixels, dtype=bool)
+        for ai in range(g.num_angles):
+            covered[trace_angle(g, ai).pixel_index] = True
+        assert covered.all()
+
+    def test_no_out_of_grid_pixels(self):
+        g = ParallelBeamGeometry(24, 10)
+        for ai in range(24):
+            segs = trace_angle(g, ai)
+            assert segs.pixel_index.min() >= 0
+            assert segs.pixel_index.max() < 100
+            assert (segs.length > 0).all()
+
+    def test_ray_outside_grid_is_empty(self):
+        """A geometry whose grid is much smaller than the detector span
+        leaves edge channels missing the grid entirely."""
+        g = ParallelBeamGeometry(4, 16, grid=Grid2D(4))
+        segs = trace_angle(g, 1)
+        edge_rays = {int(g.ray_index(1, 0)), int(g.ray_index(1, 15))}
+        assert edge_rays.isdisjoint(set(segs.ray_index.tolist()))
+
+
+class TestRaySegments:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            RaySegments(np.zeros(3), np.zeros(2), np.zeros(3))
+
+    def test_len(self):
+        s = RaySegments(np.zeros(5), np.zeros(5), np.ones(5))
+        assert len(s) == 5

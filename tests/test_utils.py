@@ -1,0 +1,77 @@
+"""Tests for metrics and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    REGULAR_BYTES_BUFFERED,
+    REGULAR_BYTES_CSR,
+    bandwidth_utilization_gb,
+    format_bytes,
+    format_seconds,
+    gflops,
+    psnr,
+    render_table,
+    rmse,
+)
+
+
+class TestMetrics:
+    def test_gflops_definition(self):
+        # 2 FLOPs per nonzero (paper Section 4.2).
+        assert gflops(nnz=5 * 10**8, seconds=1.0) == pytest.approx(1.0)
+
+    def test_bandwidth_definition(self):
+        assert bandwidth_utilization_gb(10**9, 8.0, 1.0) == pytest.approx(8.0)
+
+    def test_bytes_constants(self):
+        assert REGULAR_BYTES_CSR == 8.0
+        assert REGULAR_BYTES_BUFFERED == 6.0
+        # the paper's 25 % saving
+        assert 1 - REGULAR_BYTES_BUFFERED / REGULAR_BYTES_CSR == pytest.approx(0.25)
+
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(ValueError):
+            gflops(10, 0.0)
+        with pytest.raises(ValueError):
+            bandwidth_utilization_gb(10, 8.0, -1.0)
+
+    def test_rmse(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 2.0)
+        assert rmse(a, b) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_psnr(self):
+        ref = np.zeros((8, 8))
+        ref[0, 0] = 1.0
+        noisy = ref + 0.01
+        assert 35 < psnr(noisy, ref) < 45
+        assert psnr(ref, ref) == np.inf
+        with pytest.raises(ValueError):
+            psnr(np.zeros((2, 2)), np.zeros((2, 2)))  # zero dynamic range
+
+
+class TestFormatting:
+    def test_render_table_alignment(self):
+        out = render_table(["col", "x"], [["a", 1], ["bbbb", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1] and "x" in lines[1]
+        assert len({len(l) for l in lines[2:]}) <= 2  # consistent width
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2 KiB"
+        assert "MiB" in format_bytes(215e6)
+        assert "TiB" in format_bytes(5.1e12)
+
+    def test_format_seconds(self):
+        assert "ms" in format_seconds(0.118)
+        assert format_seconds(63.3) == "63.3 s"
+        assert format_seconds(2800).endswith(" m")
+        assert format_seconds(6000).endswith(" h")
+        assert "d" in format_seconds(1.44 * 86400)
+        with pytest.raises(ValueError):
+            format_seconds(-1)
