@@ -4,15 +4,23 @@ Each benchmark regenerates one table or figure of the paper, printing a
 paper-vs-measured comparison and writing it to ``benchmarks/out/`` so
 EXPERIMENTS.md can reference the artifacts.  Scaled dataset instances
 are built once per session (tracing dominates setup cost).
+
+Every benchmark runs inside an ``repro.obs`` capture; ``report`` writes
+a structured ``<name>.json`` next to each ``<name>.txt`` with the obs
+counter totals and span summary accumulated up to the report call, so
+downstream tooling can diff quantities (FLOPs, bytes, comm volume)
+across commits instead of scraping text tables.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.core import OperatorConfig, get_dataset, preprocess
 from repro.ordering import make_ordering
 from repro.sparse import CSRMatrix
@@ -32,13 +40,42 @@ SCALES = {
 }
 
 
-@pytest.fixture(scope="session")
-def report():
-    """Writer: report(name, text) -> benchmarks/out/<name>.txt + stdout."""
+@pytest.fixture(autouse=True)
+def bench_capture():
+    """Observe every benchmark: spans + counters for the JSON report."""
+    with obs.capture() as cap:
+        yield cap
+
+
+def _span_summary(cap: obs.Capture) -> dict:
+    """Aggregate captured spans: {name: {count, total_seconds}}."""
+    summary: dict[str, dict] = {}
+    for record in cap.spans:
+        entry = summary.setdefault(record.name, {"count": 0, "total_seconds": 0.0})
+        entry["count"] += 1
+        entry["total_seconds"] += record.duration
+    return summary
+
+
+@pytest.fixture()
+def report(bench_capture, request):
+    """Writer: report(name, text) -> benchmarks/out/<name>.{txt,json} + stdout."""
     OUT_DIR.mkdir(exist_ok=True)
 
-    def _write(name: str, text: str) -> None:
+    def _write(name: str, text: str, extra: dict | None = None) -> None:
         (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        payload = {
+            "bench": name,
+            "test": request.node.nodeid,
+            "counters": {
+                c.name: {"unit": c.unit, "total": c.total, "events": c.events}
+                for c in bench_capture.counters.values()
+            },
+            "spans": _span_summary(bench_capture),
+        }
+        if extra:
+            payload["extra"] = extra
+        (OUT_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\n{'=' * 72}\n{text}\n{'=' * 72}", file=sys.stderr)
 
     return _write

@@ -10,6 +10,11 @@ Five subcommands cover the beamline workflow:
   levels on a scaled dataset;
 * ``scale``       — print a modeled weak/strong scaling curve
   (paper Fig. 11) for a dataset-machine pair.
+
+Every subcommand additionally accepts the observability flags
+``--trace FILE`` (write a Chrome-trace / Perfetto JSON of everything
+the command executed) and ``--metrics`` (print the obs counter totals
+after the command); see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -183,9 +188,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="list datasets and machine models")
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome-trace/Perfetto JSON of this command to FILE",
+    )
+    obs_flags.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print observability counter totals after the command",
+    )
 
-    p = sub.add_parser("preprocess", help="memoize a scan geometry")
+    sub.add_parser(
+        "info", help="list datasets and machine models", parents=[obs_flags]
+    )
+
+    p = sub.add_parser(
+        "preprocess", help="memoize a scan geometry", parents=[obs_flags]
+    )
     p.add_argument("--angles", type=int, required=True)
     p.add_argument("--channels", type=int, required=True)
     p.add_argument("--ordering", default="pseudo-hilbert")
@@ -194,7 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buffer-kb", type=int, default=8)
     p.add_argument("--output", "-o", default="operator.npz")
 
-    p = sub.add_parser("reconstruct", help="reconstruct a sinogram")
+    p = sub.add_parser("reconstruct", help="reconstruct a sinogram", parents=[obs_flags])
     p.add_argument("--sinogram", help=".npz file with a 'sinogram' array")
     p.add_argument("--demo", choices=sorted(DATASETS), help="synthesize a demo dataset")
     p.add_argument("--scale", type=float, default=0.125)
@@ -204,11 +225,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=30)
     p.add_argument("--output", "-o", default="reconstruction.npz")
 
-    p = sub.add_parser("bench", help="time the three kernel levels")
+    p = sub.add_parser("bench", help="time the three kernel levels", parents=[obs_flags])
     p.add_argument("--dataset", default="ADS2", choices=sorted(DATASETS))
     p.add_argument("--scale", type=float, default=0.25)
 
-    p = sub.add_parser("scale", help="print a modeled scaling curve (Fig. 11)")
+    p = sub.add_parser(
+        "scale", help="print a modeled scaling curve (Fig. 11)", parents=[obs_flags]
+    )
     p.add_argument("--dataset", default="RDS1", choices=sorted(DATASETS))
     p.add_argument("--machine", default="theta", choices=sorted(MACHINES))
     p.add_argument("--mode", default="strong", choices=("strong", "weak"))
@@ -216,6 +239,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=6)
 
     return parser
+
+
+def _print_metrics(cap) -> None:
+    from . import obs
+
+    if not cap.counters:
+        print("no observability counters were incremented")
+        return
+    rows = [
+        [c.name, c.unit, f"{c.total:,.0f}", c.events]
+        for c in sorted(cap.counters.values(), key=lambda c: c.name)
+    ]
+    print(render_table(["Counter", "Unit", "Total", "Events"], rows,
+                       title="Observability counters"))
+    spans = cap.find_spans("solver.iteration")
+    if spans:
+        total = sum(s.duration for s in spans)
+        print(f"{len(spans)} solver iterations, {format_seconds(total)} total "
+              f"({format_seconds(total / len(spans))}/iteration)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -228,7 +270,30 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "scale": _cmd_scale,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    trace_file = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if not trace_file and not want_metrics:
+        return handler(args)
+
+    from . import obs
+
+    with obs.capture() as cap:
+        code = handler(args)
+    if trace_file:
+        try:
+            cap.write_chrome_trace(trace_file)
+        except OSError as exc:
+            print(f"error: cannot write trace to {trace_file}: {exc}", file=sys.stderr)
+            code = code or 1
+        else:
+            print(
+                f"wrote Chrome trace ({len(cap.spans)} spans) to {trace_file}; "
+                "open it at https://ui.perfetto.dev or chrome://tracing"
+            )
+    if want_metrics:
+        _print_metrics(cap)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

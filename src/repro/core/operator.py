@@ -19,6 +19,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..geometry import ParallelBeamGeometry
+from ..obs import (
+    BUFFER_STAGES,
+    REGISTRY,
+    SPMV_CALLS,
+    SPMV_FLOPS,
+    SPMV_IRREGULAR_BYTES,
+    SPMV_REGULAR_BYTES,
+    add_count,
+    span,
+)
 from ..ordering import DomainOrdering
 from ..sparse import BufferedMatrix, CSRMatrix, ELLPartitioned, scan_transpose
 
@@ -49,6 +59,12 @@ class OperatorConfig:
     def __post_init__(self) -> None:
         if self.kernel not in KERNELS:
             raise ValueError(f"unknown kernel {self.kernel!r}; expected one of {KERNELS}")
+        if self.partition_size < 1:
+            raise ValueError(
+                f"partition_size must be >= 1, got {self.partition_size}"
+            )
+        if self.buffer_bytes <= 0:
+            raise ValueError(f"buffer_bytes must be > 0, got {self.buffer_bytes}")
 
 
 class MemXCTOperator:
@@ -93,23 +109,53 @@ class MemXCTOperator:
     def num_pixels(self) -> int:
         return self.matrix.num_cols
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        """Forward projection ``y = A x`` in ordered coordinates."""
-        x32 = np.asarray(x, dtype=np.float32)
+    def _forward_kernel(self, x32: np.ndarray) -> np.ndarray:
         if self.config.kernel == "buffered" and self.buffered_forward is not None:
             return self.buffered_forward.spmv_vectorized(x32)
         if self.config.kernel == "ell" and self.ell_forward is not None:
             return self.ell_forward.spmv(x32)
         return self.matrix.spmv(x32)
 
-    def adjoint(self, y: np.ndarray) -> np.ndarray:
-        """Backprojection ``x = A^T y`` in ordered coordinates."""
-        y32 = np.asarray(y, dtype=np.float32)
+    def _adjoint_kernel(self, y32: np.ndarray) -> np.ndarray:
         if self.config.kernel == "buffered" and self.buffered_adjoint is not None:
             return self.buffered_adjoint.spmv_vectorized(y32)
         if self.config.kernel == "ell" and self.ell_adjoint is not None:
             return self.ell_adjoint.spmv(y32)
         return self.transpose.spmv(y32)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward projection ``y = A x`` in ordered coordinates."""
+        x32 = np.asarray(x, dtype=np.float32)
+        if not REGISTRY.active:  # hot path: one attribute check
+            return self._forward_kernel(x32)
+        with span("spmv.forward", kernel=self.config.kernel):
+            y = self._forward_kernel(x32)
+        self._count_spmv("forward")
+        return y
+
+    def adjoint(self, y: np.ndarray) -> np.ndarray:
+        """Backprojection ``x = A^T y`` in ordered coordinates."""
+        y32 = np.asarray(y, dtype=np.float32)
+        if not REGISTRY.active:  # hot path: one attribute check
+            return self._adjoint_kernel(y32)
+        with span("spmv.adjoint", kernel=self.config.kernel):
+            x = self._adjoint_kernel(y32)
+        self._count_spmv("adjoint")
+        return x
+
+    def _count_spmv(self, direction: str) -> None:
+        """Account one kernel application on the active captures."""
+        nnz = self.matrix.nnz
+        footprint = self.memory_footprint()
+        add_count(SPMV_CALLS, 1)
+        add_count(SPMV_FLOPS, 2 * nnz)
+        add_count(SPMV_REGULAR_BYTES, footprint[f"regular_{direction}"])
+        add_count(SPMV_IRREGULAR_BYTES, footprint[f"irregular_{direction}"])
+        buffered = (
+            self.buffered_forward if direction == "forward" else self.buffered_adjoint
+        )
+        if self.config.kernel == "buffered" and buffered is not None:
+            add_count(BUFFER_STAGES, buffered.num_stages)
 
     def row_sums(self) -> np.ndarray:
         return self.matrix.row_sums()

@@ -17,10 +17,10 @@ operator) is reused across all slices of a 3D dataset (paper Table 5's
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..geometry import ParallelBeamGeometry
+from ..obs import span
 from ..ordering import make_ordering
 from ..sparse import CSRMatrix, build_buffered, build_ell, scan_transpose
 from ..trace import build_projection_matrix
@@ -75,41 +75,53 @@ def preprocess(
     config = config or OperatorConfig()
     report = PreprocessReport()
 
-    t0 = time.perf_counter()
-    n = geometry.grid.n
-    tomo_ordering = make_ordering(ordering, n, n, tile_size=tile_size, min_tiles=min_tiles)
-    sino_ordering = make_ordering(
-        ordering,
-        geometry.num_angles,
-        geometry.num_channels,
-        tile_size=tile_size,
-        min_tiles=min_tiles,
-    )
-    report.ordering_seconds = time.perf_counter() - t0
+    with span(
+        "preprocess",
+        angles=geometry.num_angles,
+        channels=geometry.num_channels,
+        kernel=config.kernel,
+    ):
+        with span("preprocess.ordering", scheme=ordering) as sp:
+            n = geometry.grid.n
+            tomo_ordering = make_ordering(
+                ordering, n, n, tile_size=tile_size, min_tiles=min_tiles
+            )
+            sino_ordering = make_ordering(
+                ordering,
+                geometry.num_angles,
+                geometry.num_channels,
+                tile_size=tile_size,
+                min_tiles=min_tiles,
+            )
+        report.ordering_seconds = sp.duration
 
-    t0 = time.perf_counter()
-    raw = build_projection_matrix(geometry)
-    report.tracing_seconds = time.perf_counter() - t0
+        with span("preprocess.tracing") as sp:
+            raw = build_projection_matrix(geometry)
+        report.tracing_seconds = sp.duration
 
-    t0 = time.perf_counter()
-    matrix = (
-        CSRMatrix.from_scipy(raw)
-        .permute(sino_ordering.perm, tomo_ordering.rank)
-        .sort_rows_by_index()
-    )
-    transpose = scan_transpose(matrix)
-    report.transpose_seconds = time.perf_counter() - t0
+        with span("preprocess.transpose") as sp:
+            matrix = (
+                CSRMatrix.from_scipy(raw)
+                .permute(sino_ordering.perm, tomo_ordering.rank)
+                .sort_rows_by_index()
+            )
+            transpose = scan_transpose(matrix)
+        report.transpose_seconds = sp.duration
 
-    t0 = time.perf_counter()
-    buffered_forward = buffered_adjoint = None
-    ell_forward = ell_adjoint = None
-    if config.kernel == "buffered":
-        buffered_forward = build_buffered(matrix, config.partition_size, config.buffer_bytes)
-        buffered_adjoint = build_buffered(transpose, config.partition_size, config.buffer_bytes)
-    elif config.kernel == "ell":
-        ell_forward = build_ell(matrix, config.partition_size)
-        ell_adjoint = build_ell(transpose, config.partition_size)
-    report.partitioning_seconds = time.perf_counter() - t0
+        with span("preprocess.partitioning", kernel=config.kernel) as sp:
+            buffered_forward = buffered_adjoint = None
+            ell_forward = ell_adjoint = None
+            if config.kernel == "buffered":
+                buffered_forward = build_buffered(
+                    matrix, config.partition_size, config.buffer_bytes
+                )
+                buffered_adjoint = build_buffered(
+                    transpose, config.partition_size, config.buffer_bytes
+                )
+            elif config.kernel == "ell":
+                ell_forward = build_ell(matrix, config.partition_size)
+                ell_adjoint = build_ell(transpose, config.partition_size)
+        report.partitioning_seconds = sp.duration
 
     operator = MemXCTOperator(
         geometry=geometry,

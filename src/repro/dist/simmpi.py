@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import COMM_BYTES, COMM_MESSAGES, REGISTRY, add_count, span
+
 __all__ = ["CommLog", "SimComm"]
 
 
@@ -88,7 +90,18 @@ class SimComm:
         """
         if len(send) != self.size or any(len(row) != self.size for row in send):
             raise ValueError(f"send matrix must be {self.size} x {self.size}")
+        if not REGISTRY.active:
+            return self._alltoallv_exchange(send)
+        with span("comm.alltoallv", ranks=self.size):
+            recv = self._alltoallv_exchange(send)
+        return recv
+
+    def _alltoallv_exchange(
+        self, send: list[list[np.ndarray]]
+    ) -> list[list[np.ndarray]]:
         self.log.collective_calls += 1
+        remote_bytes = 0
+        remote_messages = 0
         for p in range(self.size):
             for q in range(self.size):
                 buf = send[p][q]
@@ -96,6 +109,11 @@ class SimComm:
                 if nbytes:
                     self.log.volume_bytes[p, q] += nbytes
                     self.log.message_counts[p, q] += 1
+                    if p != q:
+                        remote_bytes += nbytes
+                        remote_messages += 1
+        add_count(COMM_BYTES, remote_bytes)
+        add_count(COMM_MESSAGES, remote_messages)
         return [[send[p][q] for p in range(self.size)] for q in range(self.size)]
 
     def allreduce_sum(self, contributions: list[np.ndarray]) -> np.ndarray:
@@ -110,6 +128,13 @@ class SimComm:
         shapes = {np.asarray(c).shape for c in contributions}
         if len(shapes) != 1:
             raise ValueError(f"contributions must share a shape, got {shapes}")
+        if not REGISTRY.active:
+            return self._allreduce_exchange(contributions)
+        with span("comm.allreduce", ranks=self.size):
+            total = self._allreduce_exchange(contributions)
+        return total
+
+    def _allreduce_exchange(self, contributions: list[np.ndarray]) -> np.ndarray:
         self.log.collective_calls += 1
         total = np.zeros_like(np.asarray(contributions[0], dtype=np.float64))
         for c in contributions:
@@ -117,9 +142,15 @@ class SimComm:
         per_rank_bytes = int(
             2 * (self.size - 1) / self.size * np.asarray(contributions[0]).nbytes
         )
+        remote_bytes = 0
+        remote_messages = 0
         for p in range(self.size):
             q = (p + 1) % self.size  # ring-neighbour attribution for logging
             if p != q:
                 self.log.volume_bytes[p, q] += per_rank_bytes
                 self.log.message_counts[p, q] += 1
+                remote_bytes += per_rank_bytes
+                remote_messages += 1
+        add_count(COMM_BYTES, remote_bytes)
+        add_count(COMM_MESSAGES, remote_messages)
         return total

@@ -1,0 +1,83 @@
+"""Typed counters for the paper's key quantities.
+
+Each counter has a *unit*; incrementing an existing counter with a
+conflicting unit raises, so "bytes added to a FLOP counter" is caught
+at the instrumentation point rather than in a confusing report.
+
+The canonical names below cover the quantities MemXCT's evaluation is
+built on (Tables 3-7, Figs 5-11): SpMV work, regular/irregular memory
+traffic, buffered-kernel stage counts, and simulated communication
+volume.  Ad-hoc counters with other names are allowed — the registry
+creates them on first increment with whatever unit is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Counter",
+    "unit_of",
+    "SPMV_FLOPS",
+    "SPMV_CALLS",
+    "SPMV_REGULAR_BYTES",
+    "SPMV_IRREGULAR_BYTES",
+    "BUFFER_STAGES",
+    "COMM_BYTES",
+    "COMM_MESSAGES",
+    "SOLVER_ITERATIONS",
+]
+
+#: FMA work of every SpMV executed (2 flops per stored nonzero).
+SPMV_FLOPS = "spmv.flops"
+#: Number of forward/adjoint kernel invocations.
+SPMV_CALLS = "spmv.calls"
+#: Streamed matrix bytes (ind + val) moved by SpMV — paper "regular data".
+SPMV_REGULAR_BYTES = "spmv.regular_bytes"
+#: Gathered vector bytes touched by SpMV — paper "irregular data".
+SPMV_IRREGULAR_BYTES = "spmv.irregular_bytes"
+#: Buffer stages executed by the multi-stage buffered kernel.
+BUFFER_STAGES = "buffer.stages"
+#: Remote (off-diagonal) bytes moved by simulated MPI collectives.
+COMM_BYTES = "comm.bytes"
+#: Remote point-to-point messages inside simulated collectives.
+COMM_MESSAGES = "comm.messages"
+#: Iterations completed across all solvers.
+SOLVER_ITERATIONS = "solver.iterations"
+
+#: Default unit per canonical counter name.
+CANONICAL_UNITS = {
+    SPMV_FLOPS: "flop",
+    SPMV_CALLS: "call",
+    SPMV_REGULAR_BYTES: "byte",
+    SPMV_IRREGULAR_BYTES: "byte",
+    BUFFER_STAGES: "stage",
+    COMM_BYTES: "byte",
+    COMM_MESSAGES: "message",
+    SOLVER_ITERATIONS: "iteration",
+}
+
+
+def unit_of(name: str) -> str:
+    """Default unit of a counter name ("count" for ad-hoc counters)."""
+    return CANONICAL_UNITS.get(name, "count")
+
+
+@dataclass
+class Counter:
+    """A named accumulator with a fixed unit."""
+
+    name: str
+    unit: str
+    total: float = 0.0
+    events: int = 0
+
+    def add(self, value: float, unit: str | None = None) -> None:
+        """Accumulate ``value``; rejects a mismatched unit."""
+        if unit is not None and unit != self.unit:
+            raise ValueError(
+                f"counter {self.name!r} has unit {self.unit!r}, "
+                f"refusing increment in {unit!r}"
+            )
+        self.total += value
+        self.events += 1

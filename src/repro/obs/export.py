@@ -1,0 +1,85 @@
+"""Chrome-trace / Perfetto JSON export.
+
+Writes the ``traceEvents`` JSON consumed by ``chrome://tracing`` and
+https://ui.perfetto.dev: spans become complete ("X") duration events —
+nesting on a track is inferred from time containment — and counter
+increments become counter ("C") tracks.  Timestamps are microseconds
+relative to the earliest captured event, so traces start at t=0.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .spans import SpanRecord
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+_PID = 1
+_TID = 1
+
+
+def chrome_trace(
+    spans: Iterable[SpanRecord],
+    counter_events: Iterable[tuple[float, str, float]] = (),
+) -> dict:
+    """Build the Chrome-trace JSON object for one capture."""
+    spans = list(spans)
+    counter_events = list(counter_events)
+    starts = [record.start for record in spans] + [t for t, _, _ in counter_events]
+    origin = min(starts) if starts else 0.0
+
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID,
+            "args": {"name": "repro (MemXCT reproduction)"},
+        }
+    ]
+    for record in sorted(spans, key=lambda r: r.start):
+        event = {
+            "name": record.name,
+            "cat": record.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": (record.start - origin) * 1e6,
+            "dur": record.duration * 1e6,
+            "pid": _PID,
+            "tid": _TID,
+        }
+        if record.attrs:
+            event["args"] = {k: _jsonable(v) for k, v in record.attrs.items()}
+        events.append(event)
+    for t, name, running_total in counter_events:
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": (t - origin) * 1e6,
+                "pid": _PID,
+                "args": {name: running_total},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path,
+    spans: Iterable[SpanRecord],
+    counter_events: Iterable[tuple[float, str, float]] = (),
+) -> None:
+    """Serialize :func:`chrome_trace` to a file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(spans, counter_events), fh)
+
+
+def _jsonable(value):
+    """Coerce span attributes to JSON-safe scalars."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    try:
+        return value.item()  # numpy scalar
+    except AttributeError:
+        return repr(value)

@@ -1,0 +1,173 @@
+"""The process-global observation registry and ``capture()`` scoping.
+
+One :class:`Registry` exists per process (module-level ``REGISTRY``).
+It holds the currently-open span stack and the list of active
+:class:`Capture` sinks.  When no capture is active the registry is
+*inactive* and every instrumentation point reduces to a single
+attribute check — the hot SpMV paths stay within noise of the
+uninstrumented kernels (asserted by ``tests/test_obs.py``).
+
+Captures nest and overlap freely: a span or counter increment is
+delivered to **every** capture active at the time it completes, so a
+test can scope its assertions with an inner ``capture()`` while the CLI
+keeps an outer one open for trace export.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .counters import Counter, unit_of
+from .spans import SpanRecord
+
+__all__ = ["Capture", "Registry", "REGISTRY", "capture", "add_count"]
+
+
+@dataclass
+class Capture:
+    """One observation sink: finished spans plus counter totals.
+
+    ``spans`` lists spans in *completion* order (children before
+    parents, like a post-order walk); ``counters`` maps counter name to
+    its accumulated :class:`Counter`; ``counter_events`` is the
+    timestamped increment log ``(t, name, running_total)`` that the
+    Chrome-trace export renders as counter tracks.
+    """
+
+    spans: list[SpanRecord] = field(default_factory=list)
+    counters: dict[str, Counter] = field(default_factory=dict)
+    counter_events: list[tuple[float, str, float]] = field(default_factory=list)
+
+    # -- counter queries -------------------------------------------------
+
+    def total(self, name: str) -> float:
+        """Accumulated value of a counter (0.0 when never incremented)."""
+        counter = self.counters.get(name)
+        return counter.total if counter is not None else 0.0
+
+    def events(self, name: str) -> int:
+        """Number of increments a counter received."""
+        counter = self.counters.get(name)
+        return counter.events if counter is not None else 0
+
+    # -- span queries ----------------------------------------------------
+
+    def span_names(self) -> list[str]:
+        """Names of captured spans, in completion order."""
+        return [record.name for record in self.spans]
+
+    def find_spans(self, name: str) -> list[SpanRecord]:
+        """All captured spans with the given name."""
+        return [record for record in self.spans if record.name == name]
+
+    def roots(self) -> list[SpanRecord]:
+        """Captured spans whose parent was not captured (tree roots)."""
+        captured = {id(record) for record in self.spans}
+        return [
+            record
+            for record in self.spans
+            if record.parent is None or id(record.parent) not in captured
+        ]
+
+    def children(self, record: SpanRecord) -> list[SpanRecord]:
+        """Captured direct children of a span."""
+        return [r for r in self.spans if r.parent is record]
+
+    # -- export ----------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome ``chrome://tracing`` / Perfetto JSON object."""
+        from .export import chrome_trace
+
+        return chrome_trace(self.spans, self.counter_events)
+
+    def write_chrome_trace(self, path) -> None:
+        """Write the capture as a Chrome-trace JSON file."""
+        from .export import write_chrome_trace
+
+        write_chrome_trace(path, self.spans, self.counter_events)
+
+
+class Registry:
+    """Span stack plus active capture sinks; inactive by default."""
+
+    __slots__ = ("active", "_captures", "_stack")
+
+    def __init__(self) -> None:
+        self.active = False
+        self._captures: list[Capture] = []
+        self._stack: list[SpanRecord] = []
+
+    # -- span plumbing (called by spans.span) ----------------------------
+
+    def begin_span(self, name: str, attrs: dict, start: float) -> SpanRecord:
+        record = SpanRecord(
+            name=name,
+            start=start,
+            attrs=attrs,
+            parent=self._stack[-1] if self._stack else None,
+        )
+        self._stack.append(record)
+        return record
+
+    def end_span(self, record: SpanRecord, end: float) -> None:
+        record.end = end
+        if self._stack and self._stack[-1] is record:
+            self._stack.pop()
+        elif record in self._stack:  # defensive: mis-nested exit
+            self._stack.remove(record)
+        for cap in self._captures:
+            cap.spans.append(record)
+
+    # -- counters --------------------------------------------------------
+
+    def add_count(self, name: str, value: float, unit: str | None = None) -> None:
+        if not self._captures:
+            return
+        resolved = unit if unit is not None else unit_of(name)
+        for cap in self._captures:
+            counter = cap.counters.get(name)
+            if counter is None:
+                counter = Counter(name=name, unit=resolved)
+                cap.counters[name] = counter
+            counter.add(value, unit=resolved)
+            cap.counter_events.append((_now(), name, counter.total))
+
+    # -- capture scoping -------------------------------------------------
+
+    @contextmanager
+    def capture(self):
+        cap = Capture()
+        self._captures.append(cap)
+        self.active = True
+        try:
+            yield cap
+        finally:
+            self._captures.remove(cap)
+            self.active = bool(self._captures)
+
+
+def _now() -> float:
+    from time import perf_counter
+
+    return perf_counter()
+
+
+#: The process-global registry used by all instrumentation points.
+REGISTRY = Registry()
+
+
+def capture():
+    """Scope observation: ``with obs.capture() as cap: ...``.
+
+    Everything that *completes* inside the scope — spans, counter
+    increments — lands in the yielded :class:`Capture`.
+    """
+    return REGISTRY.capture()
+
+
+def add_count(name: str, value: float, unit: str | None = None) -> None:
+    """Increment a counter on every active capture (no-op when inactive)."""
+    if REGISTRY.active:
+        REGISTRY.add_count(name, value, unit)

@@ -1,0 +1,105 @@
+"""Span tracing: context manager, decorator, and the span record.
+
+A span is one named, timed region.  Spans nest through the registry's
+stack, so the capture can rebuild the call tree (preprocess stages
+under ``preprocess``, solver iterations under ``solver.solve``).
+
+``span`` always measures wall time — ``sp.duration`` is valid whether
+or not observation is active — but it allocates a record and touches
+the registry only when a capture is open.  Hot paths that cannot
+afford even the two ``perf_counter`` calls should guard on
+``REGISTRY.active`` themselves (see ``core/operator.py``).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from time import perf_counter
+
+__all__ = ["SpanRecord", "span", "traced"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or in-flight) span.
+
+    Times are ``time.perf_counter()`` seconds; ``parent`` links to the
+    span that was open when this one started (None for roots).
+    """
+
+    name: str
+    start: float
+    end: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    parent: "SpanRecord | None" = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class span:
+    """Context manager timing one named region.
+
+    >>> with span("preprocess.tracing", angles=128) as sp:
+    ...     ...
+    >>> sp.duration
+    """
+
+    __slots__ = ("name", "attrs", "start", "end", "_record")
+
+    def __init__(self, name: str, **attrs):
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end = 0.0
+        self._record = None
+
+    def __enter__(self) -> "span":
+        from .registry import REGISTRY
+
+        self.start = perf_counter()
+        if REGISTRY.active:
+            self._record = REGISTRY.begin_span(self.name, self.attrs, self.start)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = perf_counter()
+        if self._record is not None:
+            from .registry import REGISTRY
+
+            REGISTRY.end_span(self._record, self.end)
+            self._record = None
+        return False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def traced(name: str | None = None, **attrs):
+    """Decorator form of :class:`span`.
+
+    >>> @traced("solver.fbp")
+    ... def fbp(...): ...
+
+    With observation inactive the wrapper is one attribute check plus
+    the undecorated call.
+    """
+
+    def decorate(fn):
+        label = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from .registry import REGISTRY
+
+            if not REGISTRY.active:
+                return fn(*args, **kwargs)
+            with span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -14,7 +14,36 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["ProjectionOperator", "MatrixOperator", "SolveResult"]
+from ..obs import SOLVER_ITERATIONS, add_count, span
+
+__all__ = [
+    "ProjectionOperator",
+    "MatrixOperator",
+    "SolveResult",
+    "solve_span",
+    "iteration_span",
+]
+
+
+def solve_span(solver: str, **attrs) -> span:
+    """Span wrapping one whole solve (``solver.solve``).
+
+    Every solver opens this around its iteration loop so solver
+    iterations nest under it in the captured span tree.
+    """
+    return span("solver.solve", solver=solver, **attrs)
+
+
+def iteration_span(solver: str, iteration: int) -> span:
+    """Span wrapping one solver iteration (``solver.iteration``).
+
+    Also bumps the :data:`repro.obs.SOLVER_ITERATIONS` counter, so
+    captures can assert on how many iterations actually ran.  Costs two
+    ``perf_counter`` calls per iteration when observation is inactive —
+    noise next to the two SpMVs an iteration performs.
+    """
+    add_count(SOLVER_ITERATIONS, 1)
+    return span("solver.iteration", solver=solver, iteration=iteration)
 
 
 @runtime_checkable

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import ProjectionOperator, SolveResult
+from .base import ProjectionOperator, SolveResult, iteration_span, solve_span
 
 __all__ = ["cgls"]
 
@@ -59,44 +59,46 @@ def cgls(
         else np.asarray(x0, dtype=np.float64).copy()
     )
 
-    r = y - np.asarray(op.forward(x), dtype=np.float64)
-    s = np.asarray(op.adjoint(r), dtype=np.float64)
-    p = s.copy()
-    gamma = float(s @ s)
-    gamma0 = gamma
-
-    result = SolveResult(x=x, iterations=0)
-    result.residual_norms.append(float(np.linalg.norm(r)))
-    result.solution_norms.append(float(np.linalg.norm(x)))
-
-    for it in range(num_iterations):
-        if gamma == 0.0:
-            result.converged = True
-            result.stop_reason = "exact solution reached"
-            break
-        q = np.asarray(op.forward(p), dtype=np.float64)
-        qq = float(q @ q)
-        if qq == 0.0:
-            result.stop_reason = "search direction in null space"
-            break
-        alpha = gamma / qq
-        x += alpha * p
-        r -= alpha * q
+    with solve_span("cg", num_iterations=num_iterations):
+        r = y - np.asarray(op.forward(x), dtype=np.float64)
         s = np.asarray(op.adjoint(r), dtype=np.float64)
-        gamma_new = float(s @ s)
-        beta = gamma_new / gamma
-        p = s + beta * p
-        gamma = gamma_new
+        p = s.copy()
+        gamma = float(s @ s)
+        gamma0 = gamma
 
-        result.iterations = it + 1
+        result = SolveResult(x=x, iterations=0)
         result.residual_norms.append(float(np.linalg.norm(r)))
         result.solution_norms.append(float(np.linalg.norm(x)))
-        if callback is not None:
-            callback(it + 1, x)
-        if tolerance > 0.0 and gamma <= (tolerance**2) * gamma0:
-            result.converged = True
-            result.stop_reason = "gradient tolerance reached"
-            break
+
+        for it in range(num_iterations):
+            if gamma == 0.0:
+                result.converged = True
+                result.stop_reason = "exact solution reached"
+                break
+            with iteration_span("cg", it):
+                q = np.asarray(op.forward(p), dtype=np.float64)
+                qq = float(q @ q)
+                if qq == 0.0:
+                    result.stop_reason = "search direction in null space"
+                    break
+                alpha = gamma / qq
+                x += alpha * p
+                r -= alpha * q
+                s = np.asarray(op.adjoint(r), dtype=np.float64)
+                gamma_new = float(s @ s)
+                beta = gamma_new / gamma
+                p = s + beta * p
+                gamma = gamma_new
+
+                result.iterations = it + 1
+                result.residual_norms.append(float(np.linalg.norm(r)))
+                result.solution_norms.append(float(np.linalg.norm(x)))
+            if callback is not None:
+                callback(it + 1, x)
+            if tolerance > 0.0 and gamma <= (tolerance**2) * gamma0:
+                result.converged = True
+                result.stop_reason = "gradient tolerance reached"
+                break
 
     result.x = x
     if not result.stop_reason:

@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..sparse import CSRMatrix
-from .base import SolveResult
+from .base import SolveResult, iteration_span, solve_span
 
 __all__ = ["icd"]
 
@@ -73,24 +73,26 @@ def icd(
     result.solution_norms.append(float(np.linalg.norm(x)))
 
     displ, ind, val = transpose.displ, transpose.ind, transpose.val
-    for sweep in range(num_sweeps):
-        for j in range(matrix.num_cols):
-            lo, hi = displ[j], displ[j + 1]
-            if lo == hi or col_sq[j] == 0.0:
-                continue
-            rows = ind[lo:hi]
-            weights = val[lo:hi].astype(np.float64)
-            delta = float(weights @ residual[rows]) / col_sq[j]
-            if nonnegativity and x[j] + delta < 0.0:
-                delta = -x[j]
-            if delta != 0.0:
-                x[j] += delta
-                residual[rows] -= delta * weights
-        result.iterations = sweep + 1
-        result.residual_norms.append(float(np.linalg.norm(residual)))
-        result.solution_norms.append(float(np.linalg.norm(x)))
-        if callback is not None:
-            callback(sweep + 1, x)
+    with solve_span("icd", num_iterations=num_sweeps):
+        for sweep in range(num_sweeps):
+            with iteration_span("icd", sweep):
+                for j in range(matrix.num_cols):
+                    lo, hi = displ[j], displ[j + 1]
+                    if lo == hi or col_sq[j] == 0.0:
+                        continue
+                    rows = ind[lo:hi]
+                    weights = val[lo:hi].astype(np.float64)
+                    delta = float(weights @ residual[rows]) / col_sq[j]
+                    if nonnegativity and x[j] + delta < 0.0:
+                        delta = -x[j]
+                    if delta != 0.0:
+                        x[j] += delta
+                        residual[rows] -= delta * weights
+                result.iterations = sweep + 1
+                result.residual_norms.append(float(np.linalg.norm(residual)))
+                result.solution_norms.append(float(np.linalg.norm(x)))
+            if callback is not None:
+                callback(sweep + 1, x)
 
     result.x = x
     result.stop_reason = "sweep budget exhausted"

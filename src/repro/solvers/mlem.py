@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import ProjectionOperator, SolveResult
+from .base import ProjectionOperator, SolveResult, iteration_span, solve_span
 
 __all__ = ["mlem"]
 
@@ -65,20 +65,22 @@ def mlem(
     result.residual_norms.append(float(np.linalg.norm(y - forward)))
     result.solution_norms.append(float(np.linalg.norm(x)))
 
-    for it in range(num_iterations):
-        ratio = np.zeros_like(y)
-        positive = forward > _EPS
-        ratio[positive] = y[positive] / forward[positive]
-        back = np.asarray(op.adjoint(ratio), dtype=np.float64)
-        x[support] *= back[support] / sensitivity[support]
-        x[~support] = 0.0
+    with solve_span("mlem", num_iterations=num_iterations):
+        for it in range(num_iterations):
+            with iteration_span("mlem", it):
+                ratio = np.zeros_like(y)
+                positive = forward > _EPS
+                ratio[positive] = y[positive] / forward[positive]
+                back = np.asarray(op.adjoint(ratio), dtype=np.float64)
+                x[support] *= back[support] / sensitivity[support]
+                x[~support] = 0.0
 
-        forward = np.asarray(op.forward(x), dtype=np.float64)
-        result.iterations = it + 1
-        result.residual_norms.append(float(np.linalg.norm(y - forward)))
-        result.solution_norms.append(float(np.linalg.norm(x)))
-        if callback is not None:
-            callback(it + 1, x)
+                forward = np.asarray(op.forward(x), dtype=np.float64)
+                result.iterations = it + 1
+                result.residual_norms.append(float(np.linalg.norm(y - forward)))
+                result.solution_norms.append(float(np.linalg.norm(x)))
+            if callback is not None:
+                callback(it + 1, x)
 
     result.x = x
     result.stop_reason = "iteration budget exhausted"

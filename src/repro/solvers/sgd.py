@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import ProjectionOperator, SolveResult
+from .base import ProjectionOperator, SolveResult, iteration_span, solve_span
 
 __all__ = ["sgd"]
 
@@ -68,26 +68,31 @@ def sgd(
     result.residual_norms.append(float(np.linalg.norm(residual0)))
     result.solution_norms.append(float(np.linalg.norm(x)))
 
-    for it in range(num_iterations):
-        rows = np.sort(rng.choice(op.num_rays, size=batch, replace=False))
-        if has_subset:
-            partial = np.asarray(op.row_subset_forward(x, rows), dtype=np.float64)
-            grad = np.asarray(
-                op.row_subset_adjoint(partial - y[rows], rows), dtype=np.float64
-            )
-        else:
-            mask = np.zeros(op.num_rays)
-            full = np.asarray(op.forward(x), dtype=np.float64)
-            mask[rows] = full[rows] - y[rows]
-            grad = np.asarray(op.adjoint(mask), dtype=np.float64)
-        x -= step_size * (op.num_rays / batch) * grad
+    with solve_span("sgd", num_iterations=num_iterations):
+        for it in range(num_iterations):
+            with iteration_span("sgd", it):
+                rows = np.sort(rng.choice(op.num_rays, size=batch, replace=False))
+                if has_subset:
+                    partial = np.asarray(
+                        op.row_subset_forward(x, rows), dtype=np.float64
+                    )
+                    grad = np.asarray(
+                        op.row_subset_adjoint(partial - y[rows], rows),
+                        dtype=np.float64,
+                    )
+                else:
+                    mask = np.zeros(op.num_rays)
+                    full = np.asarray(op.forward(x), dtype=np.float64)
+                    mask[rows] = full[rows] - y[rows]
+                    grad = np.asarray(op.adjoint(mask), dtype=np.float64)
+                x -= step_size * (op.num_rays / batch) * grad
 
-        result.iterations = it + 1
-        full_res = y - np.asarray(op.forward(x), dtype=np.float64)
-        result.residual_norms.append(float(np.linalg.norm(full_res)))
-        result.solution_norms.append(float(np.linalg.norm(x)))
-        if callback is not None:
-            callback(it + 1, x)
+                result.iterations = it + 1
+                full_res = y - np.asarray(op.forward(x), dtype=np.float64)
+                result.residual_norms.append(float(np.linalg.norm(full_res)))
+                result.solution_norms.append(float(np.linalg.norm(x)))
+            if callback is not None:
+                callback(it + 1, x)
 
     result.x = x
     result.stop_reason = "iteration budget exhausted"

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import ProjectionOperator, SolveResult
+from .base import ProjectionOperator, SolveResult, iteration_span, solve_span
 
 __all__ = ["sirt"]
 
@@ -79,18 +79,22 @@ def sirt(
     result.residual_norms.append(float(np.linalg.norm(residual)))
     result.solution_norms.append(float(np.linalg.norm(x)))
 
-    for it in range(num_iterations):
-        update = c_inv * np.asarray(op.adjoint(r_inv * residual), dtype=np.float64)
-        x += relaxation * update
-        if nonnegativity:
-            np.maximum(x, 0.0, out=x)
-        residual = y - np.asarray(op.forward(x), dtype=np.float64)
+    with solve_span("sirt", num_iterations=num_iterations):
+        for it in range(num_iterations):
+            with iteration_span("sirt", it):
+                update = c_inv * np.asarray(
+                    op.adjoint(r_inv * residual), dtype=np.float64
+                )
+                x += relaxation * update
+                if nonnegativity:
+                    np.maximum(x, 0.0, out=x)
+                residual = y - np.asarray(op.forward(x), dtype=np.float64)
 
-        result.iterations = it + 1
-        result.residual_norms.append(float(np.linalg.norm(residual)))
-        result.solution_norms.append(float(np.linalg.norm(x)))
-        if callback is not None:
-            callback(it + 1, x)
+                result.iterations = it + 1
+                result.residual_norms.append(float(np.linalg.norm(residual)))
+                result.solution_norms.append(float(np.linalg.norm(x)))
+            if callback is not None:
+                callback(it + 1, x)
 
     result.x = x
     result.stop_reason = "iteration budget exhausted"

@@ -111,6 +111,26 @@ class TestConfig:
         with pytest.raises(ValueError):
             OperatorConfig(kernel="dense")
 
+    @pytest.mark.parametrize("partition_size", [0, -1, -128])
+    def test_nonpositive_partition_size_rejected(self, partition_size):
+        with pytest.raises(ValueError, match="partition_size must be >= 1"):
+            OperatorConfig(partition_size=partition_size)
+
+    @pytest.mark.parametrize("buffer_bytes", [0, -1, -4096])
+    def test_nonpositive_buffer_bytes_rejected(self, buffer_bytes):
+        with pytest.raises(ValueError, match="buffer_bytes must be > 0"):
+            OperatorConfig(buffer_bytes=buffer_bytes)
+
+    def test_error_messages_name_the_bad_value(self):
+        with pytest.raises(ValueError, match="got 0"):
+            OperatorConfig(partition_size=0)
+        with pytest.raises(ValueError, match="got -8"):
+            OperatorConfig(buffer_bytes=-8)
+
+    def test_minimal_valid_config_accepted(self):
+        cfg = OperatorConfig(kernel="buffered", partition_size=1, buffer_bytes=4)
+        assert cfg.partition_size == 1 and cfg.buffer_bytes == 4
+
     def test_num_properties(self, operators):
         g, ops = operators
         assert ops["csr"].num_rays == g.num_rays

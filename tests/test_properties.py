@@ -12,10 +12,10 @@ import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.geometry import ParallelBeamGeometry
+from repro.geometry import FanBeamGeometry, ParallelBeamGeometry
 from repro.ordering import make_ordering
 from repro.sparse import CSRMatrix, build_buffered, build_ell, scan_transpose
-from repro.trace import build_projection_matrix
+from repro.trace import build_fan_projection_matrix, build_projection_matrix
 
 
 def _random_matrix(rows, cols, seed, density=0.2):
@@ -95,6 +95,58 @@ class TestOrderingAlgebra:
         o = make_ordering("pseudo-hilbert", rows, cols)
         np.testing.assert_array_equal(o.perm[o.rank], np.arange(rows * cols))
         np.testing.assert_array_equal(o.rank[o.perm], np.arange(rows * cols))
+
+
+def _traced_matrix(beam: str, channels: int) -> CSRMatrix:
+    """Trace a small scan; grid is ``channels x channels`` (odd or even)."""
+    if beam == "parallel":
+        raw = build_projection_matrix(ParallelBeamGeometry(14, channels))
+    else:
+        raw = build_fan_projection_matrix(
+            FanBeamGeometry(14, channels, source_distance=3.0 * channels)
+        )
+    return CSRMatrix.from_scipy(raw).sort_rows_by_index()
+
+
+def _kernel_pair(A: CSRMatrix, kernel: str):
+    """(forward, adjoint) callables of one kernel over the scan pair.
+
+    Small partitions and a deliberately tiny buffer force the buffered
+    kernel through its multi-stage path.
+    """
+    AT = scan_transpose(A)
+    if kernel == "csr":
+        return A.spmv, AT.spmv
+    if kernel == "buffered":
+        fwd = build_buffered(A, partition_size=8, buffer_bytes=64)
+        adj = build_buffered(AT, partition_size=8, buffer_bytes=64)
+        return fwd.spmv_vectorized, adj.spmv_vectorized
+    fwd = build_ell(A, partition_size=8)
+    adj = build_ell(AT, partition_size=8)
+    return fwd.spmv, adj.spmv
+
+
+class TestAdjointnessBattery:
+    """⟨Ax, y⟩ == ⟨x, Aᵀy⟩ for every kernel × geometry × grid parity.
+
+    The paper's gather-only adjoint argument (Section 3.2) must hold
+    for all three kernel layouts, not just the default, on both beam
+    geometries and on odd- and even-sized grids (odd sizes exercise
+    the ragged last partition and non-power-of-two orderings).
+    """
+
+    @pytest.mark.parametrize("kernel", ["csr", "buffered", "ell"])
+    @pytest.mark.parametrize("beam", ["parallel", "fan"])
+    @pytest.mark.parametrize("channels", [15, 16], ids=["odd-grid", "even-grid"])
+    def test_adjoint_inner_product(self, kernel, beam, channels):
+        A = _traced_matrix(beam, channels)
+        forward, adjoint = _kernel_pair(A, kernel)
+        rng = np.random.default_rng(channels * 1000 + len(beam))
+        x = rng.standard_normal(A.num_cols)
+        y = rng.standard_normal(A.num_rows)
+        lhs = float(np.asarray(forward(x), dtype=np.float64) @ y)
+        rhs = float(x @ np.asarray(adjoint(y), dtype=np.float64))
+        assert lhs == pytest.approx(rhs, rel=1e-10, abs=1e-10)
 
 
 class TestTracedOperatorProperties:
