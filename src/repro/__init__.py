@@ -18,7 +18,7 @@ Public API highlights:
   cache simulator behind the performance studies.
 """
 
-from . import cachesim, cli, core, dist, geometry, io, machine, measurement, obs, ordering, phantoms, solvers, sparse, trace, utils
+from . import cache, cachesim, cli, core, dist, geometry, io, machine, measurement, obs, ordering, phantoms, solvers, sparse, trace, utils
 from .core import (
     CompXCTOperator,
     DatasetSpec,
@@ -33,6 +33,7 @@ from .core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "cache",
     "cachesim",
     "cli",
     "core",

@@ -1,0 +1,69 @@
+"""Content-addressed fingerprints of operator plans.
+
+A plan is fully determined by the scan geometry, the domain-ordering
+scheme (and its two-level granularity parameters), the kernel
+configuration, and the on-disk format version.  Hashing a canonical
+JSON rendering of exactly those inputs gives a stable key: the same
+preprocessing request always maps to the same cache entry, across
+processes and machines, and *any* change to an input (including a
+format bump) maps to a fresh key instead of a stale hit.
+
+Floats are rendered with ``float.hex`` so the fingerprint is exact —
+two geometries differing in the last ulp of ``angle_range`` are
+different plans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..core import OperatorConfig
+from ..geometry import ParallelBeamGeometry
+from ..io import FORMAT_VERSION
+
+__all__ = ["plan_fingerprint", "fingerprint_inputs"]
+
+
+def fingerprint_inputs(
+    geometry: ParallelBeamGeometry,
+    config: OperatorConfig | None = None,
+    ordering: str = "pseudo-hilbert",
+    min_tiles: int = 16,
+    tile_size: int | None = None,
+) -> dict:
+    """The canonical (JSON-ready) document a fingerprint hashes."""
+    config = config or OperatorConfig()
+    return {
+        "format_version": FORMAT_VERSION,
+        "geometry": {
+            "num_angles": int(geometry.num_angles),
+            "num_channels": int(geometry.num_channels),
+            "angle_range": float(geometry.angle_range).hex(),
+            "grid_n": int(geometry.grid.n),
+            "pixel_size": float(geometry.grid.pixel_size).hex(),
+        },
+        "ordering": {
+            "name": str(ordering),
+            "min_tiles": int(min_tiles),
+            "tile_size": None if tile_size is None else int(tile_size),
+        },
+        "config": {
+            "kernel": config.kernel,
+            "partition_size": int(config.partition_size),
+            "buffer_bytes": int(config.buffer_bytes),
+        },
+    }
+
+
+def plan_fingerprint(
+    geometry: ParallelBeamGeometry,
+    config: OperatorConfig | None = None,
+    ordering: str = "pseudo-hilbert",
+    min_tiles: int = 16,
+    tile_size: int | None = None,
+) -> str:
+    """SHA-256 hex fingerprint of a preprocessing request."""
+    doc = fingerprint_inputs(geometry, config, ordering, min_tiles, tile_size)
+    canon = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()

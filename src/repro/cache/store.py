@@ -1,0 +1,300 @@
+"""The on-disk operator-plan cache.
+
+One directory of content-addressed entries: ``<fingerprint>.npz`` (the
+full v2 operator archive written by :func:`repro.io.save_operator`)
+plus a ``<fingerprint>.json`` sidecar with human-readable metadata for
+``repro cache list`` / ``info``.
+
+Robustness properties:
+
+* **Crash-safe writes** — entries are written through the atomic
+  temp-file + rename path of ``save_operator``; a killed writer leaves
+  at most a stray ``*.tmp-<pid>`` file, never a truncated entry.
+* **Graceful degradation** — a corrupt, truncated, or version-stale
+  entry is *discarded with a warning* and reported as a miss, so the
+  caller re-traces instead of crashing (the checksum embedded in every
+  v2 archive is what catches silent bit corruption).
+* **Size-capped eviction** — after each store the cache evicts
+  least-recently-used entries (hits bump an entry's mtime) until it is
+  back under ``max_bytes``.
+
+Hits, misses, and byte traffic are reported through ``repro.obs``
+(``cache.hits`` / ``cache.misses`` / ``cache.bytes_read`` /
+``cache.bytes_written`` / ``cache.evictions`` counters and a
+``cache.load`` span), so ``--trace`` / ``--metrics`` show exactly what
+was reused.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..io import (
+    OperatorFormatError,
+    OperatorIntegrityError,
+    load_operator,
+    save_operator,
+)
+from ..obs import (
+    CACHE_BYTES_READ,
+    CACHE_BYTES_WRITTEN,
+    CACHE_EVICTIONS,
+    CACHE_HITS,
+    CACHE_MISSES,
+    add_count,
+    span,
+)
+
+__all__ = [
+    "PlanCache",
+    "CacheEntry",
+    "CacheIntegrityWarning",
+    "default_cache_dir",
+    "DEFAULT_MAX_BYTES",
+]
+
+#: Default size cap of the plan cache (overridable per instance or via
+#: the ``REPRO_CACHE_MAX_BYTES`` environment variable).
+DEFAULT_MAX_BYTES = 2 << 30  # 2 GiB
+
+
+class CacheIntegrityWarning(UserWarning):
+    """A cache entry was unusable and has been discarded."""
+
+
+def default_cache_dir() -> Path:
+    """Resolve the default cache directory.
+
+    ``REPRO_CACHE_DIR`` wins when set; otherwise the XDG cache home
+    (``~/.cache``) is used, under ``repro/plans``.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "plans"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached plan: its key, size, recency, and sidecar metadata."""
+
+    key: str
+    path: Path
+    nbytes: int
+    mtime: float
+    meta: dict
+
+    @property
+    def age_seconds(self) -> float:
+        return max(0.0, time.time() - self.mtime)
+
+
+class PlanCache:
+    """Content-addressed store of preprocessed operator plans."""
+
+    def __init__(
+        self, root: str | Path | None = None, max_bytes: int | None = None
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        if max_bytes is None:
+            env = os.environ.get("REPRO_CACHE_MAX_BYTES")
+            max_bytes = int(env) if env else DEFAULT_MAX_BYTES
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+
+    @classmethod
+    def resolve(cls, spec) -> "PlanCache | None":
+        """Interpret a user-facing cache spec.
+
+        ``None`` / ``False`` / ``"off"`` / ``"none"`` disable caching;
+        ``True`` / ``"auto"`` use the default directory; a path string,
+        :class:`~pathlib.Path`, or :class:`PlanCache` select an
+        explicit cache.
+        """
+        if spec is None or spec is False:
+            return None
+        if isinstance(spec, PlanCache):
+            return spec
+        if spec is True:
+            return cls()
+        if isinstance(spec, Path):
+            return cls(spec)
+        if isinstance(spec, str):
+            lowered = spec.strip().lower()
+            if lowered in ("", "off", "none", "disabled", "0"):
+                return None
+            if lowered == "auto":
+                return cls()
+            return cls(Path(spec))
+        raise TypeError(f"cannot interpret cache spec {spec!r}")
+
+    # -- paths ---------------------------------------------------------
+
+    def plan_path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def meta_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- load / store --------------------------------------------------
+
+    def load(self, key: str):
+        """Operator for ``key``, or ``None`` on miss.
+
+        A present-but-unusable entry (corrupt archive, checksum
+        failure, stale format version) is discarded with a
+        :class:`CacheIntegrityWarning` and counted as a miss — the
+        caller falls back to re-tracing, never crashes.
+        """
+        path = self.plan_path(key)
+        if not path.exists():
+            add_count(CACHE_MISSES, 1)
+            return None
+        with span("cache.load", key=key):
+            try:
+                operator = load_operator(path)
+            except FileNotFoundError:
+                add_count(CACHE_MISSES, 1)
+                return None
+            except (OperatorFormatError, OperatorIntegrityError, ValueError, OSError) as exc:
+                warnings.warn(
+                    f"plan cache entry {key[:12]} is unusable ({exc}); "
+                    "discarding it and re-tracing",
+                    CacheIntegrityWarning,
+                    stacklevel=2,
+                )
+                self.discard(key)
+                add_count(CACHE_MISSES, 1)
+                return None
+            nbytes = path.stat().st_size
+        now = time.time()
+        os.utime(path, (now, now))  # recency bump for LRU eviction
+        add_count(CACHE_HITS, 1)
+        add_count(CACHE_BYTES_READ, nbytes)
+        return operator
+
+    def store(self, key: str, operator, extra_meta: dict | None = None) -> Path:
+        """Persist ``operator`` under ``key`` (atomic), then evict."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        with span("cache.store", key=key):
+            # Uncompressed: cache entries exist to be loaded fast, and
+            # zlib would dominate both the store and the hit path.
+            path = save_operator(self.plan_path(key), operator, compress=False)
+            nbytes = path.stat().st_size
+            g = operator.geometry
+            meta = {
+                "key": key,
+                "created": time.time(),
+                "nbytes": nbytes,
+                "geometry": {
+                    "num_angles": g.num_angles,
+                    "num_channels": g.num_channels,
+                    "grid_n": g.grid.n,
+                    "angle_range": g.angle_range,
+                    "pixel_size": g.grid.pixel_size,
+                },
+                "config": {
+                    "kernel": operator.config.kernel,
+                    "partition_size": operator.config.partition_size,
+                    "buffer_bytes": operator.config.buffer_bytes,
+                },
+                "nnz": operator.matrix.nnz,
+            }
+            if extra_meta:
+                meta.update(extra_meta)
+            self._write_meta(key, meta)
+        add_count(CACHE_BYTES_WRITTEN, nbytes)
+        self.evict()
+        return path
+
+    def _write_meta(self, key: str, meta: dict) -> None:
+        target = self.meta_path(key)
+        tmp = target.with_name(f"{target.name}.tmp-{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # -- inspection / maintenance --------------------------------------
+
+    def entries(self) -> list[CacheEntry]:
+        """All entries, most recently used first."""
+        if not self.root.is_dir():
+            return []
+        found = []
+        for path in self.root.glob("*.npz"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with a concurrent discard
+            meta: dict = {}
+            meta_path = self.meta_path(path.stem)
+            if meta_path.exists():
+                try:
+                    meta = json.loads(meta_path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    meta = {}
+            found.append(
+                CacheEntry(
+                    key=path.stem,
+                    path=path,
+                    nbytes=stat.st_size,
+                    mtime=stat.st_mtime,
+                    meta=meta,
+                )
+            )
+        found.sort(key=lambda e: e.mtime, reverse=True)
+        return found
+
+    def entry(self, key: str) -> CacheEntry | None:
+        """The entry for ``key`` (prefix match allowed), or ``None``."""
+        for candidate in self.entries():
+            if candidate.key == key or candidate.key.startswith(key):
+                return candidate
+        return None
+
+    def total_bytes(self) -> int:
+        return sum(e.nbytes for e in self.entries())
+
+    def discard(self, key: str) -> bool:
+        """Remove one entry; returns whether the plan file existed."""
+        existed = self.plan_path(key).exists()
+        self.plan_path(key).unlink(missing_ok=True)
+        self.meta_path(key).unlink(missing_ok=True)
+        return existed
+
+    def clear(self) -> int:
+        """Remove every entry, returning how many plans were deleted."""
+        removed = 0
+        for e in self.entries():
+            removed += bool(self.discard(e.key))
+        return removed
+
+    def evict(self, max_bytes: int | None = None) -> list[CacheEntry]:
+        """Drop least-recently-used entries until under the size cap.
+
+        The most recent entry is always kept, even when it alone
+        exceeds the cap — evicting the plan that was just stored would
+        make an oversized geometry uncacheable *and* pay the write cost
+        every run.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        entries = self.entries()  # most recent first
+        total = sum(e.nbytes for e in entries)
+        evicted: list[CacheEntry] = []
+        while total > cap and len(entries) > 1:
+            victim = entries.pop()  # least recently used
+            self.discard(victim.key)
+            total -= victim.nbytes
+            evicted.append(victim)
+            add_count(CACHE_EVICTIONS, 1)
+        return evicted

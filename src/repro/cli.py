@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the beamline workflow:
+Six subcommands cover the beamline workflow:
 
 * ``info``        — list datasets (Table 3) and machine models (Table 2);
 * ``preprocess``  — memoize a scan geometry into an operator file;
@@ -9,7 +9,14 @@ Five subcommands cover the beamline workflow:
 * ``bench``       — quick kernel timing of the three optimization
   levels on a scaled dataset;
 * ``scale``       — print a modeled weak/strong scaling curve
-  (paper Fig. 11) for a dataset-machine pair.
+  (paper Fig. 11) for a dataset-machine pair;
+* ``cache``       — list / inspect / clear / prune the persistent
+  operator-plan cache (see ``docs/persistence.md``).
+
+Commands that build an operator plan (``preprocess``, ``reconstruct``,
+``bench``) consult the plan cache transparently — ``--cache auto`` is
+the default, ``--cache off`` disables it, ``--cache DIR`` selects an
+explicit directory.  A warm cache skips all four preprocessing stages.
 
 Every subcommand additionally accepts the observability flags
 ``--trace FILE`` (write a Chrome-trace / Perfetto JSON of everything
@@ -58,6 +65,22 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cache_status(report) -> None:
+    """One line telling the user what the plan cache did, if consulted."""
+    if report.cache_key is None:
+        return
+    if report.cache_hit:
+        print(
+            f"plan cache hit ({report.cache_key[:12]}): skipped "
+            "ordering/tracing/transpose/partitioning"
+        )
+    else:
+        print(
+            f"plan cache miss ({report.cache_key[:12]}): ran all stages "
+            f"in {format_seconds(report.total_seconds)}, stored plan for reuse"
+        )
+
+
 def _cmd_preprocess(args: argparse.Namespace) -> int:
     from .geometry import ParallelBeamGeometry
     from .io import save_operator
@@ -69,8 +92,11 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
         buffer_bytes=args.buffer_kb * 1024,
     )
     t0 = time.perf_counter()
-    operator, report = preprocess(geometry, config=config, ordering=args.ordering)
+    operator, report = preprocess(
+        geometry, config=config, ordering=args.ordering, cache=args.cache
+    )
     save_operator(args.output, operator)
+    _print_cache_status(report)
     print(
         f"preprocessed {args.angles}x{args.channels} in "
         f"{format_seconds(time.perf_counter() - t0)} "
@@ -91,7 +117,8 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
         spec = get_dataset(args.demo).scaled(args.scale)
         geometry = spec.geometry()
         if operator is None:
-            operator, _ = preprocess(geometry)
+            operator, prep = preprocess(geometry, cache=args.cache)
+            _print_cache_status(prep)
         sinogram, truth = spec.sinogram(operator, incident_photons=args.photons)
     else:
         if not args.sinogram:
@@ -123,19 +150,26 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .ordering import make_ordering
-    from .sparse import CSRMatrix, build_buffered
-    from .trace import build_projection_matrix
-
     spec = get_dataset(args.dataset).scaled(args.scale)
     g = spec.geometry()
     print(f"building {spec.name} ({g.sinogram_shape[0]}x{g.sinogram_shape[1]})...")
-    raw = CSRMatrix.from_scipy(build_projection_matrix(g))
-    n = g.grid.n
-    tomo = make_ordering("pseudo-hilbert", n, n, min_tiles=16)
-    sino = make_ordering("pseudo-hilbert", g.num_angles, g.num_channels, min_tiles=16)
-    ordered = raw.permute(sino.perm, tomo.rank).sort_rows_by_index()
-    buffered = build_buffered(ordered, 128, 8192)
+    # Both plans go through preprocess() so a warm cache skips the
+    # (dominant) tracing/ordering/layout construction on repeat runs.
+    raw_op, raw_report = preprocess(
+        g, config=OperatorConfig(kernel="csr"), ordering="row-major",
+        cache=args.cache,
+    )
+    _print_cache_status(raw_report)
+    buf_op, buf_report = preprocess(
+        g,
+        config=OperatorConfig(kernel="buffered", partition_size=128, buffer_bytes=8192),
+        ordering="pseudo-hilbert",
+        cache=args.cache,
+    )
+    _print_cache_status(buf_report)
+    raw = raw_op.matrix
+    ordered = buf_op.matrix
+    buffered = buf_op.buffered_forward
     x = np.random.default_rng(0).random(raw.num_cols).astype(np.float32)
 
     def best_of(fn, repeats=5):
@@ -182,6 +216,77 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .cache import PlanCache
+
+    spec = args.cache
+    plan_cache = PlanCache.resolve(spec if spec != "off" else "auto")
+    if plan_cache is None:
+        plan_cache = PlanCache()
+
+    if args.action == "list":
+        entries = plan_cache.entries()
+        if not entries:
+            print(f"plan cache at {plan_cache.root} is empty")
+            return 0
+        rows = []
+        for e in entries:
+            geo = e.meta.get("geometry", {})
+            cfg = e.meta.get("config", {})
+            sino = (
+                f"{geo.get('num_angles', '?')}x{geo.get('num_channels', '?')}"
+                if geo else "?"
+            )
+            rows.append([
+                e.key[:12],
+                sino,
+                cfg.get("kernel", "?"),
+                f"{e.meta.get('nnz', 0):,}" if e.meta else "?",
+                format_bytes(e.nbytes),
+                format_seconds(e.age_seconds),
+            ])
+        print(render_table(
+            ["Key", "Sinogram", "Kernel", "nnz", "Size", "Last used"],
+            rows, title=f"Plan cache at {plan_cache.root}"))
+        total = plan_cache.total_bytes()
+        print(
+            f"{len(entries)} entries, {format_bytes(total)} "
+            f"(cap {format_bytes(plan_cache.max_bytes)})"
+        )
+        return 0
+
+    if args.action == "info":
+        if not args.key:
+            print("error: 'cache info' needs an entry KEY", file=sys.stderr)
+            return 2
+        entry = plan_cache.entry(args.key)
+        if entry is None:
+            print(f"error: no cache entry matching {args.key!r}", file=sys.stderr)
+            return 1
+        import json as _json
+
+        print(f"key:  {entry.key}")
+        print(f"path: {entry.path}")
+        print(f"size: {format_bytes(entry.nbytes)}")
+        print(_json.dumps(entry.meta, indent=2, sort_keys=True))
+        return 0
+
+    if args.action == "clear":
+        removed = plan_cache.clear()
+        print(f"removed {removed} entries from {plan_cache.root}")
+        return 0
+
+    # prune: run eviction, optionally against an explicit cap.
+    cap = int(args.max_mb * 1e6) if args.max_mb else None
+    evicted = plan_cache.evict(max_bytes=cap)
+    print(
+        f"evicted {len(evicted)} entries "
+        f"({format_bytes(sum(e.nbytes for e in evicted))}); "
+        f"{format_bytes(plan_cache.total_bytes())} in use"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MemXCT reproduction command-line interface"
@@ -200,12 +305,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="print observability counter totals after the command",
     )
 
+    cache_flags = argparse.ArgumentParser(add_help=False)
+    cache_flags.add_argument(
+        "--cache",
+        default="auto",
+        metavar="DIR|auto|off",
+        help="operator-plan cache: 'auto' (default; REPRO_CACHE_DIR or "
+        "~/.cache/repro/plans), 'off', or an explicit directory",
+    )
+
     sub.add_parser(
         "info", help="list datasets and machine models", parents=[obs_flags]
     )
 
     p = sub.add_parser(
-        "preprocess", help="memoize a scan geometry", parents=[obs_flags]
+        "preprocess", help="memoize a scan geometry", parents=[obs_flags, cache_flags]
     )
     p.add_argument("--angles", type=int, required=True)
     p.add_argument("--channels", type=int, required=True)
@@ -215,7 +329,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buffer-kb", type=int, default=8)
     p.add_argument("--output", "-o", default="operator.npz")
 
-    p = sub.add_parser("reconstruct", help="reconstruct a sinogram", parents=[obs_flags])
+    p = sub.add_parser(
+        "reconstruct", help="reconstruct a sinogram", parents=[obs_flags, cache_flags]
+    )
     p.add_argument("--sinogram", help=".npz file with a 'sinogram' array")
     p.add_argument("--demo", choices=sorted(DATASETS), help="synthesize a demo dataset")
     p.add_argument("--scale", type=float, default=0.125)
@@ -225,7 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=30)
     p.add_argument("--output", "-o", default="reconstruction.npz")
 
-    p = sub.add_parser("bench", help="time the three kernel levels", parents=[obs_flags])
+    p = sub.add_parser(
+        "bench", help="time the three kernel levels", parents=[obs_flags, cache_flags]
+    )
     p.add_argument("--dataset", default="ADS2", choices=sorted(DATASETS))
     p.add_argument("--scale", type=float, default=0.25)
 
@@ -237,6 +355,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", default="strong", choices=("strong", "weak"))
     p.add_argument("--nodes-start", type=int, default=32)
     p.add_argument("--steps", type=int, default=6)
+
+    p = sub.add_parser(
+        "cache",
+        help="list / inspect / clear / prune the operator-plan cache",
+        parents=[obs_flags, cache_flags],
+    )
+    p.add_argument("action", choices=("list", "info", "clear", "prune"))
+    p.add_argument("key", nargs="?", help="entry fingerprint for 'info' (prefix OK)")
+    p.add_argument(
+        "--max-mb", type=float, default=None,
+        help="size cap in MB for 'prune' (default: the cache's own cap)",
+    )
 
     return parser
 
@@ -269,6 +399,7 @@ def main(argv: list[str] | None = None) -> int:
         "reconstruct": _cmd_reconstruct,
         "bench": _cmd_bench,
         "scale": _cmd_scale,
+        "cache": _cmd_cache,
     }
     handler = handlers[args.command]
     trace_file = getattr(args, "trace", None)

@@ -30,7 +30,13 @@ from ..obs import (
     span,
 )
 from ..ordering import DomainOrdering
-from ..sparse import BufferedMatrix, CSRMatrix, ELLPartitioned, scan_transpose
+from ..sparse import (
+    BufferedMatrix,
+    CSRMatrix,
+    ELLPartitioned,
+    scan_transpose,
+    validate_buffer_bytes,
+)
 
 __all__ = ["MemXCTOperator", "OperatorConfig", "KERNELS"]
 
@@ -65,6 +71,9 @@ class OperatorConfig:
             )
         if self.buffer_bytes <= 0:
             raise ValueError(f"buffer_bytes must be > 0, got {self.buffer_bytes}")
+        # Fail the 256 KB uint16-addressing cap here rather than inside
+        # build_buffered, which would only run after tracing completed.
+        validate_buffer_bytes(self.buffer_bytes)
 
 
 class MemXCTOperator:
@@ -98,6 +107,10 @@ class MemXCTOperator:
         self.buffered_adjoint = buffered_adjoint
         self.ell_forward = ell_forward
         self.ell_adjoint = ell_adjoint
+        # Row-subset operators (SGD minibatches) keyed by the row-set
+        # bytes; bounded so adversarial row sampling cannot grow it
+        # without limit.
+        self._subset_cache: dict[bytes, tuple[CSRMatrix, CSRMatrix]] = {}
 
     # -- protocol ------------------------------------------------------
 
@@ -163,15 +176,36 @@ class MemXCTOperator:
     def col_sums(self) -> np.ndarray:
         return self.matrix.col_sums()
 
+    #: Maximum number of memoized row-subset operators (FIFO eviction).
+    _SUBSET_CACHE_CAPACITY = 128
+
+    def _subset_operators(self, rows: np.ndarray) -> tuple[CSRMatrix, CSRMatrix]:
+        """Memoized (submatrix, transpose) pair for a row subset.
+
+        SGD revisits the same minibatch row-sets every epoch; rebuilding
+        the permuted submatrix and its scan transpose per step costs
+        more than the SpMV itself, so both are cached per row-set.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        key = rows.tobytes()
+        cached = self._subset_cache.get(key)
+        if cached is None:
+            sub = self.matrix.permute(rows, None)
+            cached = (sub, scan_transpose(sub))
+            if len(self._subset_cache) >= self._SUBSET_CACHE_CAPACITY:
+                self._subset_cache.pop(next(iter(self._subset_cache)))
+            self._subset_cache[key] = cached
+        return cached
+
     def row_subset_forward(self, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Partial forward projection over a row subset (SGD support)."""
-        sub = self.matrix.permute(np.asarray(rows, dtype=np.int64), None)
+        sub, _ = self._subset_operators(rows)
         return sub.spmv(np.asarray(x, dtype=np.float32))
 
     def row_subset_adjoint(self, y_rows: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Partial backprojection of values on a row subset (SGD support)."""
-        sub = self.matrix.permute(np.asarray(rows, dtype=np.int64), None)
-        return scan_transpose(sub).spmv(np.asarray(y_rows, dtype=np.float32))
+        _, sub_t = self._subset_operators(rows)
+        return sub_t.spmv(np.asarray(y_rows, dtype=np.float32))
 
     # -- image-space helpers --------------------------------------------
 

@@ -12,7 +12,11 @@ Four steps, each timed:
 
 Preprocessing is paid once per scan geometry; its product (the
 operator) is reused across all slices of a 3D dataset (paper Table 5's
-"All Slices" argument).
+"All Slices" argument).  With ``cache="auto"`` (or a cache directory /
+:class:`repro.cache.PlanCache`), that reuse extends across processes:
+the finished plan is stored content-addressed on disk, and a later
+``preprocess`` call with identical inputs loads it back and skips all
+four stages.
 """
 
 from __future__ import annotations
@@ -31,12 +35,19 @@ __all__ = ["PreprocessReport", "preprocess"]
 
 @dataclass
 class PreprocessReport:
-    """Wall-clock seconds of each preprocessing step."""
+    """Wall-clock seconds of each preprocessing step.
+
+    ``cache_hit`` is True when the operator came from the plan cache —
+    all stage timings are then zero because no stage ran.  ``cache_key``
+    is the plan fingerprint whenever a cache was consulted.
+    """
 
     ordering_seconds: float = 0.0
     tracing_seconds: float = 0.0
     transpose_seconds: float = 0.0
     partitioning_seconds: float = 0.0
+    cache_hit: bool = False
+    cache_key: str | None = None
     extra: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -55,6 +66,7 @@ def preprocess(
     ordering: str = "pseudo-hilbert",
     min_tiles: int = 16,
     tile_size: int | None = None,
+    cache=None,
 ) -> tuple[MemXCTOperator, PreprocessReport]:
     """Run the four-step preprocessing and return the operator.
 
@@ -71,9 +83,31 @@ def preprocess(
     min_tiles, tile_size:
         Two-level ordering granularity (see
         :func:`repro.ordering.pseudo_hilbert_order`).
+    cache:
+        Plan-cache selector: ``None``/``"off"`` (default) disables
+        caching, ``"auto"`` uses the default cache directory
+        (``REPRO_CACHE_DIR`` or ``~/.cache/repro/plans``), a path
+        string / ``Path`` selects an explicit directory, and a
+        :class:`repro.cache.PlanCache` is used as-is.  On a hit the
+        finished plan is loaded and **all four stages are skipped**
+        (``report.cache_hit``); on a miss the stages run and the plan
+        is stored for the next process.
     """
+    # Imported lazily: repro.cache depends on repro.io which imports
+    # repro.core — a module-level import here would close that cycle.
+    from ..cache import PlanCache, plan_fingerprint
+
     config = config or OperatorConfig()
     report = PreprocessReport()
+
+    plan_cache = PlanCache.resolve(cache)
+    if plan_cache is not None:
+        key = plan_fingerprint(geometry, config, ordering, min_tiles, tile_size)
+        report.cache_key = key
+        operator = plan_cache.load(key)
+        if operator is not None:
+            report.cache_hit = True
+            return operator, report
 
     with span(
         "preprocess",
@@ -135,4 +169,15 @@ def preprocess(
         ell_forward=ell_forward,
         ell_adjoint=ell_adjoint,
     )
+    if plan_cache is not None:
+        plan_cache.store(
+            report.cache_key,
+            operator,
+            extra_meta={
+                "ordering": ordering,
+                "min_tiles": min_tiles,
+                "tile_size": tile_size,
+                "preprocess_seconds": report.total_seconds,
+            },
+        )
     return operator, report

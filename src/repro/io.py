@@ -2,15 +2,26 @@
 
 Preprocessing is the expensive step (paper Table 4/5); persisting its
 product lets a beamline workflow preprocess once per scan geometry and
-reconstruct thousands of slices across separate processes.  Operators
-are stored as a single ``.npz`` holding the geometry, both orderings,
-the ordered matrix, and the kernel configuration; the transpose and
-buffered layouts are rebuilt on load (cheap relative to tracing, and
-keeping the file format minimal).
+reconstruct thousands of slices across separate processes.
+
+Format **v2** stores *all four* preprocessing products in one ``.npz``:
+the geometry, both orderings, the ordered matrix, the scan-based
+transpose, and the buffered / ELL kernel layouts — so a load skips
+every preprocessing stage, not just tracing.  Format v1 files (matrix
+only; transpose and layouts rebuilt on load) are still readable.
+
+Writes are crash-safe: the archive is written to a temporary file in
+the destination directory, fsynced, and atomically renamed into place,
+so a crashed or killed writer can never leave a half-written operator
+under the final name.  Every v2 file embeds a CRC-32 checksum over all
+payload arrays which is verified on load; a flipped bit surfaces as
+:class:`OperatorIntegrityError` instead of silently corrupt physics.
 """
 
 from __future__ import annotations
 
+import os
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -18,35 +29,206 @@ import numpy as np
 from .core import MemXCTOperator, OperatorConfig
 from .geometry import Grid2D, ParallelBeamGeometry
 from .ordering import DomainOrdering
-from .sparse import CSRMatrix, build_buffered, build_ell, scan_transpose
+from .sparse import (
+    BufferedMatrix,
+    CSRMatrix,
+    ELLPartitioned,
+    RowPartitions,
+    build_buffered,
+    build_ell,
+    scan_transpose,
+)
 
-__all__ = ["save_operator", "load_operator"]
+__all__ = [
+    "save_operator",
+    "load_operator",
+    "FORMAT_VERSION",
+    "OperatorFormatError",
+    "OperatorIntegrityError",
+]
 
-_FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions this loader understands.
+_READABLE_VERSIONS = (1, 2)
 
 
-def save_operator(path: str | Path, operator: MemXCTOperator) -> None:
-    """Serialize a preprocessed operator to ``path`` (.npz)."""
-    g = operator.geometry
-    np.savez_compressed(
-        path,
-        format_version=_FORMAT_VERSION,
-        num_angles=g.num_angles,
-        num_channels=g.num_channels,
-        angle_range=g.angle_range,
-        pixel_size=g.grid.pixel_size,
-        grid_n=g.grid.n,
-        tomo_name=operator.tomo_ordering.name,
-        tomo_perm=operator.tomo_ordering.perm,
-        sino_name=operator.sino_ordering.name,
-        sino_perm=operator.sino_ordering.perm,
-        displ=operator.matrix.displ,
-        ind=operator.matrix.ind,
-        val=operator.matrix.val,
-        kernel=operator.config.kernel,
-        partition_size=operator.config.partition_size,
-        buffer_bytes=operator.config.buffer_bytes,
+class OperatorFormatError(ValueError):
+    """The file is a valid archive but not a format we can interpret."""
+
+
+class OperatorIntegrityError(ValueError):
+    """The file is unreadable, truncated, or fails its checksum."""
+
+
+# -- checksum / atomic write ------------------------------------------------
+
+
+def _raw_buffer(value) -> bytes | memoryview:
+    """C-order raw bytes of an array, without copying when possible."""
+    arr = np.ascontiguousarray(np.asarray(value))
+    try:
+        return memoryview(arr).cast("B")
+    except (TypeError, NotImplementedError):  # e.g. unicode dtypes
+        return arr.tobytes()
+
+
+def _payload_checksum(payload: dict) -> int:
+    """CRC-32 over every payload array (name + raw bytes), name-sorted."""
+    crc = 0
+    for name in sorted(payload):
+        if name == "checksum":
+            continue
+        crc = zlib.crc32(name.encode("utf-8"), crc)
+        crc = zlib.crc32(_raw_buffer(payload[name]), crc)
+    return crc & 0xFFFFFFFF
+
+
+def _atomic_savez(path: Path, payload: dict, compress: bool) -> None:
+    """Write ``payload`` as an npz archive via temp file + rename."""
+    writer = np.savez_compressed if compress else np.savez
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            writer(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+# -- layout <-> array helpers ----------------------------------------------
+
+
+def _buffered_payload(prefix: str, layout: BufferedMatrix) -> dict:
+    return {
+        f"{prefix}buffer_elements": layout.buffer_elements,
+        f"{prefix}partdispl": layout.partdispl,
+        f"{prefix}stagedispl": layout.stagedispl,
+        f"{prefix}map": layout.map,
+        f"{prefix}displ": layout.displ,
+        f"{prefix}ind": layout.ind,
+        f"{prefix}val": layout.val,
+    }
+
+
+def _buffered_from_payload(
+    data, prefix: str, num_rows: int, partition_size: int, num_cols: int
+) -> BufferedMatrix:
+    return BufferedMatrix(
+        partitions=RowPartitions(num_rows, partition_size),
+        buffer_elements=int(data[f"{prefix}buffer_elements"]),
+        partdispl=data[f"{prefix}partdispl"],
+        stagedispl=data[f"{prefix}stagedispl"],
+        map=data[f"{prefix}map"],
+        displ=data[f"{prefix}displ"],
+        ind=data[f"{prefix}ind"],
+        val=data[f"{prefix}val"],
+        num_cols=num_cols,
     )
+
+
+def _ell_payload(prefix: str, layout: ELLPartitioned) -> dict:
+    """Flatten the per-partition slabs into one pair of arrays."""
+    flat_ind = (
+        np.concatenate([slab.ravel() for slab in layout.ind_slabs])
+        if layout.ind_slabs
+        else np.empty(0, dtype=np.int32)
+    )
+    flat_val = (
+        np.concatenate([slab.ravel() for slab in layout.val_slabs])
+        if layout.val_slabs
+        else np.empty(0, dtype=np.float32)
+    )
+    return {
+        f"{prefix}widths": layout.widths,
+        f"{prefix}ind": flat_ind.astype(np.int32),
+        f"{prefix}val": flat_val.astype(np.float32),
+    }
+
+
+def _ell_from_payload(
+    data, prefix: str, num_rows: int, partition_size: int, num_cols: int
+) -> ELLPartitioned:
+    parts = RowPartitions(num_rows, partition_size)
+    widths = np.asarray(data[f"{prefix}widths"], dtype=np.int64)
+    flat_ind = data[f"{prefix}ind"]
+    flat_val = data[f"{prefix}val"]
+    ind_slabs: list[np.ndarray] = []
+    val_slabs: list[np.ndarray] = []
+    offset = 0
+    for part in range(parts.num_partitions):
+        start, stop = parts.bounds(part)
+        nrows = stop - start
+        width = int(widths[part])
+        size = width * nrows
+        ind_slabs.append(flat_ind[offset : offset + size].reshape(width, nrows))
+        val_slabs.append(flat_val[offset : offset + size].reshape(width, nrows))
+        offset += size
+    return ELLPartitioned(
+        partitions=parts,
+        widths=widths,
+        ind_slabs=ind_slabs,
+        val_slabs=val_slabs,
+        num_cols=num_cols,
+    )
+
+
+# -- save -------------------------------------------------------------------
+
+
+def save_operator(
+    path: str | Path, operator: MemXCTOperator, compress: bool = True
+) -> Path:
+    """Serialize a preprocessed operator to ``path`` (.npz), atomically.
+
+    ``compress=False`` trades ~2x file size for much faster writes and
+    loads (no zlib on the multi-hundred-MB streams) — what the plan
+    cache uses, since its entries exist purely to be loaded fast.
+
+    Returns the path actually written (``.npz`` appended when missing,
+    matching ``np.savez`` conventions).
+    """
+    path = Path(path)
+    if not path.name.endswith(".npz"):
+        path = path.with_name(path.name + ".npz")
+    g = operator.geometry
+    payload: dict = {
+        "format_version": FORMAT_VERSION,
+        "num_angles": g.num_angles,
+        "num_channels": g.num_channels,
+        "angle_range": g.angle_range,
+        "pixel_size": g.grid.pixel_size,
+        "grid_n": g.grid.n,
+        "tomo_name": operator.tomo_ordering.name,
+        "tomo_perm": operator.tomo_ordering.perm,
+        "sino_name": operator.sino_ordering.name,
+        "sino_perm": operator.sino_ordering.perm,
+        "displ": operator.matrix.displ,
+        "ind": operator.matrix.ind,
+        "val": operator.matrix.val,
+        "t_displ": operator.transpose.displ,
+        "t_ind": operator.transpose.ind,
+        "t_val": operator.transpose.val,
+        "kernel": operator.config.kernel,
+        "partition_size": operator.config.partition_size,
+        "buffer_bytes": operator.config.buffer_bytes,
+    }
+    if operator.buffered_forward is not None:
+        payload.update(_buffered_payload("bf_", operator.buffered_forward))
+    if operator.buffered_adjoint is not None:
+        payload.update(_buffered_payload("ba_", operator.buffered_adjoint))
+    if operator.ell_forward is not None:
+        payload.update(_ell_payload("ef_", operator.ell_forward))
+    if operator.ell_adjoint is not None:
+        payload.update(_ell_payload("ea_", operator.ell_adjoint))
+    payload["checksum"] = np.uint32(_payload_checksum(payload))
+    _atomic_savez(path, payload, compress)
+    return path
+
+
+# -- load -------------------------------------------------------------------
 
 
 def _ordering_from_arrays(name: str, rows: int, cols: int, perm: np.ndarray) -> DomainOrdering:
@@ -55,50 +237,83 @@ def _ordering_from_arrays(name: str, rows: int, cols: int, perm: np.ndarray) -> 
     return DomainOrdering(str(name), rows, cols, perm.astype(np.int64), rank)
 
 
-def load_operator(path: str | Path) -> MemXCTOperator:
-    """Load an operator saved by :func:`save_operator`.
-
-    The scan-based transpose and the configured kernel layout are
-    rebuilt deterministically from the stored matrix.
-    """
-    with np.load(path, allow_pickle=False) as data:
-        version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported operator file version {version} (expected {_FORMAT_VERSION})"
+def _operator_from_npz(data) -> MemXCTOperator:
+    version = int(data["format_version"])
+    if version not in _READABLE_VERSIONS:
+        raise OperatorFormatError(
+            f"unsupported operator file version {version} "
+            f"(expected one of {_READABLE_VERSIONS})"
+        )
+    if version >= 2:
+        stored = int(data["checksum"])
+        actual = _payload_checksum(data)
+        if actual != stored:
+            raise OperatorIntegrityError(
+                f"operator file checksum mismatch "
+                f"(stored {stored:#010x}, computed {actual:#010x})"
             )
-        grid = Grid2D(int(data["grid_n"]), float(data["pixel_size"]))
-        geometry = ParallelBeamGeometry(
-            int(data["num_angles"]),
-            int(data["num_channels"]),
-            grid=grid,
-            angle_range=float(data["angle_range"]),
-        )
-        n = grid.n
-        tomo = _ordering_from_arrays(data["tomo_name"][()], n, n, data["tomo_perm"])
-        sino = _ordering_from_arrays(
-            data["sino_name"][()], geometry.num_angles, geometry.num_channels,
-            data["sino_perm"],
-        )
-        matrix = CSRMatrix(
-            displ=data["displ"], ind=data["ind"], val=data["val"],
-            num_cols=grid.n * grid.n,
-        )
-        config = OperatorConfig(
-            kernel=str(data["kernel"][()]),
-            partition_size=int(data["partition_size"]),
-            buffer_bytes=int(data["buffer_bytes"]),
-        )
 
-    transpose = scan_transpose(matrix)
+    grid = Grid2D(int(data["grid_n"]), float(data["pixel_size"]))
+    geometry = ParallelBeamGeometry(
+        int(data["num_angles"]),
+        int(data["num_channels"]),
+        grid=grid,
+        angle_range=float(data["angle_range"]),
+    )
+    n = grid.n
+    tomo = _ordering_from_arrays(data["tomo_name"][()], n, n, data["tomo_perm"])
+    sino = _ordering_from_arrays(
+        data["sino_name"][()], geometry.num_angles, geometry.num_channels,
+        data["sino_perm"],
+    )
+    matrix = CSRMatrix(
+        displ=data["displ"], ind=data["ind"], val=data["val"],
+        num_cols=grid.n * grid.n,
+    )
+    config = OperatorConfig(
+        kernel=str(data["kernel"][()]),
+        partition_size=int(data["partition_size"]),
+        buffer_bytes=int(data["buffer_bytes"]),
+    )
+
     buffered_forward = buffered_adjoint = None
     ell_forward = ell_adjoint = None
-    if config.kernel == "buffered":
-        buffered_forward = build_buffered(matrix, config.partition_size, config.buffer_bytes)
-        buffered_adjoint = build_buffered(transpose, config.partition_size, config.buffer_bytes)
-    elif config.kernel == "ell":
-        ell_forward = build_ell(matrix, config.partition_size)
-        ell_adjoint = build_ell(transpose, config.partition_size)
+    if version >= 2:
+        transpose = CSRMatrix(
+            displ=data["t_displ"], ind=data["t_ind"], val=data["t_val"],
+            num_cols=matrix.num_rows,
+        )
+        psize = config.partition_size
+        if "bf_partdispl" in data:
+            buffered_forward = _buffered_from_payload(
+                data, "bf_", matrix.num_rows, psize, matrix.num_cols
+            )
+        if "ba_partdispl" in data:
+            buffered_adjoint = _buffered_from_payload(
+                data, "ba_", transpose.num_rows, psize, transpose.num_cols
+            )
+        if "ef_widths" in data:
+            ell_forward = _ell_from_payload(
+                data, "ef_", matrix.num_rows, psize, matrix.num_cols
+            )
+        if "ea_widths" in data:
+            ell_adjoint = _ell_from_payload(
+                data, "ea_", transpose.num_rows, psize, transpose.num_cols
+            )
+    else:
+        # v1 stored the matrix only: rebuild the remaining stages.
+        transpose = scan_transpose(matrix)
+        if config.kernel == "buffered":
+            buffered_forward = build_buffered(
+                matrix, config.partition_size, config.buffer_bytes
+            )
+            buffered_adjoint = build_buffered(
+                transpose, config.partition_size, config.buffer_bytes
+            )
+        elif config.kernel == "ell":
+            ell_forward = build_ell(matrix, config.partition_size)
+            ell_adjoint = build_ell(transpose, config.partition_size)
+
     return MemXCTOperator(
         geometry=geometry,
         tomo_ordering=tomo,
@@ -111,3 +326,35 @@ def load_operator(path: str | Path) -> MemXCTOperator:
         ell_forward=ell_forward,
         ell_adjoint=ell_adjoint,
     )
+
+
+def load_operator(path: str | Path) -> MemXCTOperator:
+    """Load an operator saved by :func:`save_operator`.
+
+    v2 files restore the transpose and kernel layouts directly (no
+    preprocessing stage re-runs); v1 files rebuild them
+    deterministically from the stored matrix.
+
+    Raises
+    ------
+    FileNotFoundError
+        ``path`` does not exist.
+    OperatorFormatError
+        The file has an unsupported format version.
+    OperatorIntegrityError
+        The file is not a readable operator archive (corrupt,
+        truncated, wrong file type) or fails its embedded checksum.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            data = {name: npz[name] for name in npz.files}
+        return _operator_from_npz(data)
+    except FileNotFoundError:
+        raise
+    except (OperatorFormatError, OperatorIntegrityError):
+        raise
+    except Exception as exc:
+        raise OperatorIntegrityError(
+            f"{path} is not a readable operator file: {exc}"
+        ) from exc

@@ -32,6 +32,11 @@ See ``docs/observability.md`` for the full guide.
 
 from .counters import (
     BUFFER_STAGES,
+    CACHE_BYTES_READ,
+    CACHE_BYTES_WRITTEN,
+    CACHE_EVICTIONS,
+    CACHE_HITS,
+    CACHE_MISSES,
     COMM_BYTES,
     COMM_MESSAGES,
     SOLVER_ITERATIONS,
@@ -48,6 +53,11 @@ from .spans import SpanRecord, span, traced
 
 __all__ = [
     "BUFFER_STAGES",
+    "CACHE_BYTES_READ",
+    "CACHE_BYTES_WRITTEN",
+    "CACHE_EVICTIONS",
+    "CACHE_HITS",
+    "CACHE_MISSES",
     "COMM_BYTES",
     "COMM_MESSAGES",
     "SOLVER_ITERATIONS",

@@ -26,6 +26,11 @@ __all__ = [
     "COMM_BYTES",
     "COMM_MESSAGES",
     "SOLVER_ITERATIONS",
+    "CACHE_HITS",
+    "CACHE_MISSES",
+    "CACHE_BYTES_READ",
+    "CACHE_BYTES_WRITTEN",
+    "CACHE_EVICTIONS",
 ]
 
 #: FMA work of every SpMV executed (2 flops per stored nonzero).
@@ -44,6 +49,16 @@ COMM_BYTES = "comm.bytes"
 COMM_MESSAGES = "comm.messages"
 #: Iterations completed across all solvers.
 SOLVER_ITERATIONS = "solver.iterations"
+#: Operator plans served from the on-disk plan cache.
+CACHE_HITS = "cache.hits"
+#: Plan-cache lookups that found no (usable) entry.
+CACHE_MISSES = "cache.misses"
+#: Bytes read from plan-cache entries on hits.
+CACHE_BYTES_READ = "cache.bytes_read"
+#: Bytes written to the plan cache when storing entries.
+CACHE_BYTES_WRITTEN = "cache.bytes_written"
+#: Entries removed by the size-capped eviction policy.
+CACHE_EVICTIONS = "cache.evictions"
 
 #: Default unit per canonical counter name.
 CANONICAL_UNITS = {
@@ -55,6 +70,11 @@ CANONICAL_UNITS = {
     COMM_BYTES: "byte",
     COMM_MESSAGES: "message",
     SOLVER_ITERATIONS: "iteration",
+    CACHE_HITS: "hit",
+    CACHE_MISSES: "miss",
+    CACHE_BYTES_READ: "byte",
+    CACHE_BYTES_WRITTEN: "byte",
+    CACHE_EVICTIONS: "entry",
 }
 
 

@@ -20,7 +20,10 @@ def lcurve_corner(residual_norms: np.ndarray, solution_norms: np.ndarray) -> int
 
     Uses the standard discrete curvature of the parametric curve
     ``(log r_i, log s_i)``.  Returns an iteration index into the input
-    series; series shorter than 3 points return the last index.
+    series; series shorter than 3 points, or degenerate series with no
+    interior curvature at all (e.g. constant norms), return the last
+    index — "no corner found" must not read as "stop at iteration 0",
+    which would terminate CG before it starts.
     """
     r = np.log(np.maximum(np.asarray(residual_norms, dtype=np.float64), 1e-300))
     s = np.log(np.maximum(np.asarray(solution_norms, dtype=np.float64), 1e-300))
@@ -37,7 +40,10 @@ def lcurve_corner(residual_norms: np.ndarray, solution_norms: np.ndarray) -> int
     curvature[~np.isfinite(curvature)] = 0.0
     # Endpoints have one-sided derivatives; exclude them.
     curvature[0] = curvature[-1] = 0.0
-    return int(np.argmax(curvature))
+    corner = int(np.argmax(curvature))
+    if curvature[corner] <= 0.0:
+        return n - 1
+    return corner
 
 
 def overfit_onset(

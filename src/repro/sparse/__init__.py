@@ -1,7 +1,12 @@
 """Sparse kernels: CSR/ELL storage, scan transposition, row partitions,
 and the multi-stage input-buffered SpMV (paper Sections 3.1, 3.3, 3.5.1)."""
 
-from .buffering import BYTES_PER_INPUT_ELEMENT, BufferedMatrix, build_buffered
+from .buffering import (
+    BYTES_PER_INPUT_ELEMENT,
+    BufferedMatrix,
+    build_buffered,
+    validate_buffer_bytes,
+)
 from .csr import CSRMatrix, csr_row_sums
 from .ell import ELLPartitioned, build_ell
 from .partition import (
@@ -16,6 +21,7 @@ __all__ = [
     "BYTES_PER_INPUT_ELEMENT",
     "BufferedMatrix",
     "build_buffered",
+    "validate_buffer_bytes",
     "CSRMatrix",
     "csr_row_sums",
     "ELLPartitioned",

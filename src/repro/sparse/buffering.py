@@ -35,7 +35,12 @@ import numpy as np
 from .csr import CSRMatrix, csr_row_sums
 from .partition import RowPartitions
 
-__all__ = ["BufferedMatrix", "build_buffered", "BYTES_PER_INPUT_ELEMENT"]
+__all__ = [
+    "BufferedMatrix",
+    "build_buffered",
+    "validate_buffer_bytes",
+    "BYTES_PER_INPUT_ELEMENT",
+]
 
 #: Input elements are float32.
 BYTES_PER_INPUT_ELEMENT = 4
@@ -43,6 +48,24 @@ BYTES_PER_INPUT_ELEMENT = 4
 #: uint16 buffer addressing caps the buffer at 2^16 elements = 256 KB,
 #: exactly the limit stated in paper Section 3.3.5.
 _MAX_BUFFER_ELEMENTS = 1 << 16
+
+
+def validate_buffer_bytes(buffer_bytes: int) -> int:
+    """Validate a buffered-kernel capacity, returning the element count.
+
+    Shared by :func:`build_buffered` and ``OperatorConfig`` so an
+    out-of-range capacity fails at config construction, not after
+    tracing has already been paid for.
+    """
+    buffer_elements = buffer_bytes // BYTES_PER_INPUT_ELEMENT
+    if buffer_elements < 1:
+        raise ValueError(f"buffer too small: {buffer_bytes} bytes")
+    if buffer_elements > _MAX_BUFFER_ELEMENTS:
+        raise ValueError(
+            f"buffer of {buffer_bytes} bytes exceeds 16-bit addressing "
+            f"({_MAX_BUFFER_ELEMENTS * BYTES_PER_INPUT_ELEMENT} bytes max)"
+        )
+    return buffer_elements
 
 
 @dataclass
@@ -176,14 +199,7 @@ def build_buffered(
     buffer_bytes:
         Buffer capacity; at most 256 KB because of uint16 addressing.
     """
-    buffer_elements = buffer_bytes // BYTES_PER_INPUT_ELEMENT
-    if buffer_elements < 1:
-        raise ValueError(f"buffer too small: {buffer_bytes} bytes")
-    if buffer_elements > _MAX_BUFFER_ELEMENTS:
-        raise ValueError(
-            f"buffer of {buffer_bytes} bytes exceeds 16-bit addressing "
-            f"({_MAX_BUFFER_ELEMENTS * BYTES_PER_INPUT_ELEMENT} bytes max)"
-        )
+    buffer_elements = validate_buffer_bytes(buffer_bytes)
     parts = RowPartitions(matrix.num_rows, partition_size)
 
     partdispl = np.zeros(parts.num_partitions + 1, dtype=np.int64)

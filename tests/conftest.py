@@ -16,6 +16,16 @@ from repro.sparse import CSRMatrix
 from repro.trace import build_projection_matrix
 
 
+@pytest.fixture(autouse=True)
+def _isolated_plan_cache(tmp_path, monkeypatch):
+    """Point the default plan cache at a per-test temp dir.
+
+    CLI commands default to ``--cache auto``; without this, tests would
+    read and write the developer's real ``~/.cache/repro/plans``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "plan-cache"))
+
+
 @pytest.fixture(scope="session")
 def small_geometry() -> ParallelBeamGeometry:
     """A 36x24 sinogram on a 24x24 grid — fast to trace."""

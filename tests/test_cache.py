@@ -1,0 +1,308 @@
+"""The persistent operator-plan cache: fingerprints, the store,
+``preprocess()`` integration, graceful degradation, and eviction."""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cache import (
+    CacheIntegrityWarning,
+    PlanCache,
+    default_cache_dir,
+    fingerprint_inputs,
+    plan_fingerprint,
+)
+from repro.core import OperatorConfig, preprocess
+from repro.geometry import ParallelBeamGeometry
+from repro.io import FORMAT_VERSION
+
+
+@pytest.fixture()
+def cache(tmp_path) -> PlanCache:
+    return PlanCache(tmp_path / "plans")
+
+
+class TestFingerprint:
+    def test_stable_across_calls_and_instances(self, small_geometry):
+        a = plan_fingerprint(small_geometry)
+        b = plan_fingerprint(ParallelBeamGeometry(36, 24))
+        assert a == b
+        assert len(a) == 64 and set(a) <= set("0123456789abcdef")
+
+    def test_sensitive_to_every_input(self, small_geometry):
+        base = plan_fingerprint(small_geometry)
+        variants = [
+            plan_fingerprint(ParallelBeamGeometry(37, 24)),
+            plan_fingerprint(ParallelBeamGeometry(36, 32)),
+            plan_fingerprint(small_geometry, ordering="row-major"),
+            plan_fingerprint(small_geometry, min_tiles=4),
+            plan_fingerprint(small_geometry, tile_size=8),
+            plan_fingerprint(small_geometry, config=OperatorConfig(kernel="csr")),
+            plan_fingerprint(
+                small_geometry,
+                config=OperatorConfig(partition_size=64),
+            ),
+            plan_fingerprint(
+                small_geometry,
+                config=OperatorConfig(buffer_bytes=16384),
+            ),
+        ]
+        assert base not in variants
+        assert len(set(variants)) == len(variants)
+
+    def test_float_inputs_hashed_exactly(self, small_geometry):
+        """One-ulp geometry changes must map to a different plan."""
+        base = plan_fingerprint(small_geometry)
+        nudged = ParallelBeamGeometry(
+            36, 24, angle_range=np.nextafter(small_geometry.angle_range, 4.0)
+        )
+        assert plan_fingerprint(nudged) != base
+
+    def test_inputs_doc_pins_format_version(self, small_geometry):
+        doc = fingerprint_inputs(small_geometry)
+        assert doc["format_version"] == FORMAT_VERSION
+        # The doc must be canonical-JSON-safe (what the hash consumes).
+        json.dumps(doc, sort_keys=True)
+
+
+class TestResolve:
+    @pytest.mark.parametrize(
+        "spec", [None, False, "off", "none", "", "disabled", "0", "OFF"]
+    )
+    def test_disabled_specs(self, spec):
+        assert PlanCache.resolve(spec) is None
+
+    @pytest.mark.parametrize("spec", [True, "auto"])
+    def test_auto_uses_default_dir(self, spec):
+        resolved = PlanCache.resolve(spec)
+        assert resolved is not None
+        assert resolved.root == default_cache_dir()
+
+    def test_default_dir_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+    def test_explicit_path_and_instance(self, tmp_path, cache):
+        from pathlib import Path
+
+        assert PlanCache.resolve(str(tmp_path)).root == Path(tmp_path)
+        assert PlanCache.resolve(Path(tmp_path)).root == Path(tmp_path)
+        assert PlanCache.resolve(cache) is cache
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(TypeError, match="cache spec"):
+            PlanCache.resolve(3.14)
+
+    def test_max_bytes_env_and_validation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+        assert PlanCache(tmp_path).max_bytes == 12345
+        with pytest.raises(ValueError, match="max_bytes"):
+            PlanCache(tmp_path, max_bytes=0)
+
+
+class TestStoreLoad:
+    def test_miss_returns_none_and_counts(self, cache):
+        with obs.capture() as cap:
+            assert cache.load("0" * 64) is None
+        assert cap.total(obs.CACHE_MISSES) == 1
+        assert cap.total(obs.CACHE_HITS) == 0
+
+    @pytest.mark.parametrize("kernel", ["csr", "buffered", "ell"])
+    def test_roundtrip_bit_identical_per_kernel(
+        self, cache, small_geometry, kernel, rng
+    ):
+        config = OperatorConfig(kernel=kernel, partition_size=32, buffer_bytes=4096)
+        op, _ = preprocess(small_geometry, config=config)
+        key = plan_fingerprint(small_geometry, config)
+        cache.store(key, op)
+        loaded = cache.load(key)
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.matrix.displ, op.matrix.displ)
+        np.testing.assert_array_equal(loaded.matrix.ind, op.matrix.ind)
+        np.testing.assert_array_equal(loaded.matrix.val, op.matrix.val)
+        x = rng.random(op.num_pixels).astype(np.float32)
+        y = rng.random(op.num_rays).astype(np.float32)
+        # Bit-identical, not just close: the cached plan must execute
+        # the same kernel over the same arrays.
+        np.testing.assert_array_equal(loaded.forward(x), op.forward(x))
+        np.testing.assert_array_equal(loaded.adjoint(y), op.adjoint(y))
+
+    def test_meta_sidecar_written(self, cache, small_operator, small_geometry):
+        key = "a" * 64
+        cache.store(key, small_operator, extra_meta={"ordering": "pseudo-hilbert"})
+        entry = cache.entry(key)
+        assert entry is not None
+        assert entry.meta["key"] == key
+        assert entry.meta["nnz"] == small_operator.matrix.nnz
+        assert entry.meta["geometry"]["num_angles"] == small_geometry.num_angles
+        assert entry.meta["ordering"] == "pseudo-hilbert"
+        assert entry.nbytes == entry.path.stat().st_size
+
+    def test_entry_prefix_match_and_maintenance(self, cache, small_operator):
+        cache.store("b" * 64, small_operator)
+        cache.store("c" * 64, small_operator)
+        assert cache.entry("b" * 8).key == "b" * 64
+        assert cache.entry("zz") is None
+        assert cache.total_bytes() == sum(e.nbytes for e in cache.entries())
+        assert cache.discard("b" * 64) is True
+        assert cache.discard("b" * 64) is False  # already gone
+        assert cache.clear() == 1
+        assert cache.entries() == []
+
+    def test_hit_observability(self, cache, small_operator):
+        key = "d" * 64
+        cache.store(key, small_operator)
+        with obs.capture() as cap:
+            assert cache.load(key) is not None
+        assert cap.total(obs.CACHE_HITS) == 1
+        assert cap.total(obs.CACHE_MISSES) == 0
+        assert cap.total(obs.CACHE_BYTES_READ) == cache.entry(key).nbytes
+        assert cap.span_names().count("cache.load") == 1
+        (sp,) = cap.find_spans("cache.load")
+        assert sp.attrs["key"] == key
+
+
+class TestPreprocessIntegration:
+    def test_cache_none_stores_nothing(self, tmp_path, small_geometry):
+        _, report = preprocess(small_geometry, cache=None)
+        assert report.cache_hit is False
+        assert report.cache_key is None
+        assert not (tmp_path / "plans").exists()
+
+    def test_miss_then_hit_bit_identical(self, tmp_path, small_geometry, rng):
+        cachedir = tmp_path / "plans"
+        cold_op, cold = preprocess(small_geometry, cache=cachedir)
+        assert cold.cache_hit is False
+        assert cold.cache_key is not None
+        assert cold.total_seconds > 0
+        assert PlanCache(cachedir).entry(cold.cache_key) is not None
+
+        warm_op, warm = preprocess(small_geometry, cache=cachedir)
+        assert warm.cache_hit is True
+        assert warm.cache_key == cold.cache_key
+        assert warm.total_seconds == 0.0  # no stage ran
+        x = rng.random(cold_op.num_pixels).astype(np.float32)
+        np.testing.assert_array_equal(warm_op.forward(x), cold_op.forward(x))
+        assert warm_op.config == cold_op.config
+
+    def test_hit_skips_all_stage_spans(self, tmp_path, small_geometry):
+        cachedir = tmp_path / "plans"
+        preprocess(small_geometry, cache=cachedir)
+        with obs.capture() as cap:
+            _, report = preprocess(small_geometry, cache=cachedir)
+        assert report.cache_hit is True
+        assert cap.find_spans("cache.load")
+        for stage in (
+            "preprocess",
+            "preprocess.ordering",
+            "preprocess.tracing",
+            "preprocess.transpose",
+            "preprocess.partitioning",
+        ):
+            assert cap.find_spans(stage) == [], stage
+
+    def test_auto_spec_reaches_env_directory(self, tmp_path, monkeypatch, small_geometry):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "via-env"))
+        _, report = preprocess(small_geometry, cache="auto")
+        assert PlanCache.resolve("auto").entry(report.cache_key) is not None
+
+    def test_distinct_configs_do_not_collide(self, tmp_path, small_geometry, rng):
+        cachedir = tmp_path / "plans"
+        csr = OperatorConfig(kernel="csr")
+        ell = OperatorConfig(kernel="ell", partition_size=32)
+        preprocess(small_geometry, config=csr, cache=cachedir)
+        op, report = preprocess(small_geometry, config=ell, cache=cachedir)
+        assert report.cache_hit is False  # different plan, different key
+        assert op.config.kernel == "ell"
+        op2, report2 = preprocess(small_geometry, config=ell, cache=cachedir)
+        assert report2.cache_hit is True
+        assert op2.ell_forward is not None
+
+
+class TestGracefulDegradation:
+    def _prime(self, cachedir, geometry):
+        _, report = preprocess(geometry, cache=cachedir)
+        return PlanCache(cachedir), report.cache_key
+
+    def test_corrupt_entry_warns_retraces_and_heals(
+        self, tmp_path, small_geometry, rng
+    ):
+        cache, key = self._prime(tmp_path / "plans", small_geometry)
+        path = cache.plan_path(key)
+        blob = bytearray(path.read_bytes())
+        mid = len(blob) // 2
+        blob[mid : mid + 64] = b"\xff" * 64  # silent bit rot
+        path.write_bytes(bytes(blob))
+
+        with pytest.warns(CacheIntegrityWarning, match="re-tracing"):
+            op, report = preprocess(small_geometry, cache=cache)
+        assert report.cache_hit is False  # degraded to a full re-trace
+        x = rng.random(op.num_pixels).astype(np.float32)
+        assert np.isfinite(op.forward(x)).all()
+        # The bad entry was replaced: the next run is a clean hit.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            _, again = preprocess(small_geometry, cache=cache)
+        assert again.cache_hit is True
+
+    def test_truncated_entry_is_a_miss(self, tmp_path, small_geometry):
+        cache, key = self._prime(tmp_path / "plans", small_geometry)
+        path = cache.plan_path(key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 3])
+        with pytest.warns(CacheIntegrityWarning):
+            assert cache.load(key) is None
+        assert not path.exists()  # discarded, not left to fail again
+
+    def test_garbage_entry_is_a_miss(self, tmp_path, small_geometry):
+        cache, key = self._prime(tmp_path / "plans", small_geometry)
+        cache.plan_path(key).write_bytes(b"not an archive at all")
+        with pytest.warns(CacheIntegrityWarning):
+            _, report = preprocess(small_geometry, cache=cache)
+        assert report.cache_hit is False
+
+    def test_version_stale_entry_is_a_miss(self, tmp_path, small_geometry):
+        cache, key = self._prime(tmp_path / "plans", small_geometry)
+        path = cache.plan_path(key)
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["format_version"] = np.int64(99)
+        np.savez(path, **arrays)
+        with pytest.warns(CacheIntegrityWarning, match="unusable"):
+            assert cache.load(key) is None
+
+    def test_degradation_counts_as_miss(self, tmp_path, small_geometry):
+        cache, key = self._prime(tmp_path / "plans", small_geometry)
+        cache.plan_path(key).write_bytes(b"junk")
+        with obs.capture() as cap, pytest.warns(CacheIntegrityWarning):
+            cache.load(key)
+        assert cap.total(obs.CACHE_MISSES) == 1
+        assert cap.total(obs.CACHE_HITS) == 0
+
+
+class TestEviction:
+    def test_lru_eviction_under_size_cap(self, tmp_path, small_geometry):
+        op, _ = preprocess(small_geometry, config=OperatorConfig(kernel="csr"))
+        probe = PlanCache(tmp_path / "probe")
+        probe.store("0" * 64, op)
+        entry_bytes = probe.total_bytes()
+
+        cache = PlanCache(tmp_path / "plans", max_bytes=int(entry_bytes * 2.5))
+        with obs.capture() as cap:
+            cache.store("a" * 64, op)
+            cache.store("b" * 64, op)
+            cache.load("a" * 64)  # recency bump: "b" is now the LRU entry
+            cache.store("c" * 64, op)  # over cap -> evict "b"
+        assert sorted(e.key[0] for e in cache.entries()) == ["a", "c"]
+        assert cap.total(obs.CACHE_EVICTIONS) == 1
+
+    def test_most_recent_entry_survives_even_oversized(
+        self, tmp_path, small_operator
+    ):
+        cache = PlanCache(tmp_path / "plans", max_bytes=1)
+        cache.store("a" * 64, small_operator)
+        assert [e.key for e in cache.entries()] == ["a" * 64]
+        cache.store("b" * 64, small_operator)
+        assert [e.key for e in cache.entries()] == ["b" * 64]

@@ -88,3 +88,95 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "weak scaling" in out
+
+
+class TestPlanCacheCLI:
+    """The `--cache` flag and the `cache` maintenance subcommand.
+
+    The autouse conftest fixture points REPRO_CACHE_DIR at a per-test
+    temp dir, so `--cache auto` (the default) is hermetic here.
+    """
+
+    ARGS = ["preprocess", "--angles", "24", "--channels", "16"]
+
+    def test_preprocess_miss_then_hit(self, tmp_path, capsys):
+        assert main(self.ARGS + ["-o", str(tmp_path / "a.npz")]) == 0
+        first = capsys.readouterr().out
+        assert "plan cache miss" in first
+        assert "stored plan for reuse" in first
+
+        assert main(self.ARGS + ["-o", str(tmp_path / "b.npz")]) == 0
+        second = capsys.readouterr().out
+        assert "plan cache hit" in second
+        assert "skipped ordering/tracing/transpose/partitioning" in second
+
+    def test_cache_off_stays_silent(self, tmp_path, capsys):
+        assert main(
+            self.ARGS + ["--cache", "off", "-o", str(tmp_path / "a.npz")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "plan cache" not in out
+        assert main(
+            self.ARGS + ["--cache", "off", "-o", str(tmp_path / "b.npz")]
+        ) == 0
+        assert "plan cache hit" not in capsys.readouterr().out
+
+    def test_explicit_cache_dir(self, tmp_path, capsys):
+        cachedir = tmp_path / "plans"
+        argv = self.ARGS + ["--cache", str(cachedir), "-o", str(tmp_path / "a.npz")]
+        assert main(argv) == 0
+        assert "plan cache miss" in capsys.readouterr().out
+        assert list(cachedir.glob("*.npz"))
+        argv[-1] = str(tmp_path / "b.npz")
+        assert main(argv) == 0
+        assert "plan cache hit" in capsys.readouterr().out
+
+    def test_reconstruct_demo_uses_cache(self, tmp_path, capsys):
+        argv = [
+            "reconstruct", "--demo", "ADS1", "--scale", "0.0625",
+            "--iterations", "2", "-o", str(tmp_path / "r.npz"),
+        ]
+        assert main(argv) == 0
+        assert "plan cache miss" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "plan cache hit" in capsys.readouterr().out
+
+    def test_cache_list_info_clear(self, tmp_path, capsys):
+        assert main(["cache", "list"]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+        assert main(self.ARGS + ["-o", str(tmp_path / "a.npz")]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "24x16" in out and "buffered" in out
+        assert "1 entries" in out
+
+        key = [
+            line.split()[0] for line in out.splitlines() if "24x16" in line
+        ][0]
+        assert main(["cache", "info", key]) == 0
+        info = capsys.readouterr().out
+        assert "num_angles" in info and key in info
+
+        assert main(["cache", "info"]) == 2  # key required
+        assert main(["cache", "info", "feedface"]) == 1  # no match
+
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert main(["cache", "list"]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_cache_prune_respects_cap(self, tmp_path, capsys):
+        assert main(self.ARGS + ["-o", str(tmp_path / "a.npz")]) == 0
+        assert main([
+            "preprocess", "--angles", "26", "--channels", "16",
+            "-o", str(tmp_path / "b.npz"),
+        ]) == 0
+        capsys.readouterr()
+        # A tiny cap keeps only the most recent entry.
+        assert main(["cache", "prune", "--max-mb", "0.001"]) == 0
+        assert "evicted 1 entries" in capsys.readouterr().out
+        assert main(["cache", "list"]) == 0
+        assert "1 entries" in capsys.readouterr().out

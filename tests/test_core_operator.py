@@ -91,6 +91,32 @@ class TestRowSubset:
             op.row_subset_adjoint(vals, rows), op.adjoint(full), rtol=1e-4, atol=1e-5
         )
 
+    def test_subset_operators_memoized_per_row_set(self, rng):
+        """Repeated calls with the same row set (ICD's inner loop) must
+        reuse the extracted sub-operator instead of re-slicing it."""
+        g = ParallelBeamGeometry(20, 16)
+        op, _ = preprocess(g, config=OperatorConfig(kernel="csr"))
+        rows = np.array([2, 9, 40])
+        first = op._subset_operators(rows)
+        assert op._subset_operators(list(rows)) is first  # key by content
+        assert op._subset_operators(np.array([2, 9, 41])) is not first
+        assert len(op._subset_cache) == 2
+        # Memoization must not change results.
+        x = rng.random(op.num_pixels).astype(np.float32)
+        a = op.row_subset_forward(x, rows)
+        b = op.row_subset_forward(x, rows)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_allclose(a, op.forward(x)[rows], rtol=1e-5, atol=1e-5)
+
+    def test_subset_cache_bounded(self):
+        g = ParallelBeamGeometry(12, 8)
+        op, _ = preprocess(g, config=OperatorConfig(kernel="csr"))
+        cap = MemXCTOperator._SUBSET_CACHE_CAPACITY
+        x = np.ones(op.num_pixels, dtype=np.float32)
+        for start in range(cap + 10):
+            op.row_subset_forward(x, np.array([start % op.num_rays]))
+        assert len(op._subset_cache) <= cap
+
 
 class TestFootprints:
     def test_table3_conventions(self, operators):

@@ -5,7 +5,13 @@ import pytest
 
 from repro.core import OperatorConfig, preprocess
 from repro.geometry import ParallelBeamGeometry
-from repro.io import load_operator, save_operator
+from repro.io import (
+    FORMAT_VERSION,
+    OperatorFormatError,
+    OperatorIntegrityError,
+    load_operator,
+    save_operator,
+)
 
 
 @pytest.fixture(scope="module")
@@ -85,3 +91,131 @@ class TestRoundtrip:
         np.savez(bad, **arrays)
         with pytest.raises(ValueError):
             load_operator(bad)
+
+    @pytest.mark.parametrize("kernel", ["csr", "buffered", "ell"])
+    def test_all_kernels_bit_identical(self, tmp_path, rng, kernel):
+        """v2 persists the kernel layouts themselves, so the loaded
+        operator must produce *bit-identical* results, not just close."""
+        g = ParallelBeamGeometry(30, 20)
+        op, _ = preprocess(
+            g,
+            config=OperatorConfig(kernel=kernel, partition_size=32, buffer_bytes=2048),
+        )
+        loaded = load_operator(save_operator(tmp_path / f"{kernel}.npz", op))
+        np.testing.assert_array_equal(loaded.transpose.displ, op.transpose.displ)
+        np.testing.assert_array_equal(loaded.transpose.ind, op.transpose.ind)
+        np.testing.assert_array_equal(loaded.transpose.val, op.transpose.val)
+        x = rng.random(op.num_pixels).astype(np.float32)
+        y = rng.random(op.num_rays).astype(np.float32)
+        np.testing.assert_array_equal(loaded.forward(x), op.forward(x))
+        np.testing.assert_array_equal(loaded.adjoint(y), op.adjoint(y))
+        if kernel == "buffered":
+            np.testing.assert_array_equal(
+                loaded.buffered_forward.map, op.buffered_forward.map
+            )
+            np.testing.assert_array_equal(
+                loaded.buffered_adjoint.ind, op.buffered_adjoint.ind
+            )
+        if kernel == "ell":
+            assert len(loaded.ell_forward.ind_slabs) == len(op.ell_forward.ind_slabs)
+
+    def test_uncompressed_roundtrip(self, saved, tmp_path, rng):
+        _, op, path = saved
+        fast = save_operator(tmp_path / "fast.npz", op, compress=False)
+        assert fast.stat().st_size >= path.stat().st_size  # no zlib
+        loaded = load_operator(fast)
+        x = rng.random(op.num_pixels).astype(np.float32)
+        np.testing.assert_array_equal(loaded.forward(x), op.forward(x))
+
+    def test_npz_suffix_appended(self, saved, tmp_path):
+        _, op, _ = saved
+        written = save_operator(tmp_path / "bare", op)
+        assert written.name == "bare.npz"
+        assert written.exists()
+
+    def test_no_temp_files_left_behind(self, saved, tmp_path):
+        _, op, _ = saved
+        save_operator(tmp_path / "clean.npz", op)
+        assert [p.name for p in tmp_path.glob("*.tmp-*")] == []
+
+
+class TestIntegrity:
+    """Corrupt, truncated, or stale files fail with typed errors."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_operator(tmp_path / "nope.npz")
+
+    def test_version_mismatch_is_format_error(self, saved, tmp_path):
+        _, _, path = saved
+        with np.load(path) as data:
+            arrays = dict(data)
+        arrays["format_version"] = np.int64(FORMAT_VERSION + 40)
+        bad = tmp_path / "future.npz"
+        np.savez(bad, **arrays)
+        with pytest.raises(OperatorFormatError, match="unsupported"):
+            load_operator(bad)
+
+    def test_flipped_bytes_fail_checksum(self, saved, tmp_path):
+        _, op, _ = saved
+        path = save_operator(tmp_path / "rot.npz", op, compress=False)
+        blob = bytearray(path.read_bytes())
+        mid = len(blob) // 2
+        blob[mid] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(OperatorIntegrityError):
+            load_operator(path)
+
+    def test_truncated_file(self, saved, tmp_path):
+        _, _, path = saved
+        cut = tmp_path / "cut.npz"
+        cut.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(OperatorIntegrityError, match="not a readable"):
+            load_operator(cut)
+
+    def test_wrong_file_type(self, tmp_path):
+        impostor = tmp_path / "impostor.npz"
+        impostor.write_text("just some text")
+        with pytest.raises(OperatorIntegrityError):
+            load_operator(impostor)
+
+    def test_tampered_array_detected(self, saved, tmp_path):
+        """Valid archive, valid version, silently modified values."""
+        _, _, path = saved
+        with np.load(path) as data:
+            arrays = dict(data)
+        arrays["val"] = arrays["val"].copy()
+        arrays["val"][0] += 1.0
+        tampered = tmp_path / "tampered.npz"
+        np.savez(tampered, **arrays)
+        with pytest.raises(OperatorIntegrityError, match="checksum mismatch"):
+            load_operator(tampered)
+
+
+class TestV1BackCompat:
+    def test_v1_archive_rebuilds_layouts(self, saved, tmp_path, rng):
+        """A v1 file (matrix only, no checksum) still loads — the
+        transpose and kernel layouts are rebuilt deterministically."""
+        _, op, path = saved
+        with np.load(path) as data:
+            arrays = dict(data)
+        v2_only = [
+            name
+            for name in arrays
+            if name == "checksum"
+            or name.startswith(("t_", "bf_", "ba_", "ef_", "ea_"))
+        ]
+        for name in v2_only:
+            del arrays[name]
+        arrays["format_version"] = np.int64(1)
+        old = tmp_path / "v1.npz"
+        np.savez(old, **arrays)
+
+        loaded = load_operator(old)
+        np.testing.assert_array_equal(loaded.transpose.displ, op.transpose.displ)
+        np.testing.assert_array_equal(loaded.transpose.val, op.transpose.val)
+        assert loaded.buffered_forward is not None
+        x = rng.random(op.num_pixels).astype(np.float32)
+        y = rng.random(op.num_rays).astype(np.float32)
+        np.testing.assert_array_equal(loaded.forward(x), op.forward(x))
+        np.testing.assert_array_equal(loaded.adjoint(y), op.adjoint(y))

@@ -191,6 +191,12 @@ class TestLCurve:
         assert lcurve_corner(np.array([1.0]), np.array([1.0])) == 0
         assert lcurve_corner(np.array([1.0, 0.5]), np.array([1.0, 2.0])) == 1
 
+    def test_flat_curve_returns_last_index(self):
+        """Degenerate curves (no positive curvature anywhere) mean "no
+        corner reached": keep iterating, don't stop at iteration 0."""
+        assert lcurve_corner(np.ones(40), np.ones(40)) == 39
+        assert lcurve_corner(np.full(10, 2.0), np.full(10, 3.0)) == 9
+
     def test_overfit_onset(self):
         r = np.array([1.0, 0.5, 0.25, 0.249, 0.2489, 0.2488])
         s = np.array([1.0, 1.5, 1.8, 1.9, 2.2, 2.6])
