@@ -18,7 +18,7 @@ Public API highlights:
   cache simulator behind the performance studies.
 """
 
-from . import cache, cachesim, cli, core, dist, geometry, io, machine, measurement, obs, ordering, phantoms, solvers, sparse, trace, utils
+from . import cache, cachesim, cli, core, dist, geometry, io, machine, measurement, obs, ordering, persist, phantoms, resilience, solvers, sparse, trace, utils
 from .core import (
     CompXCTOperator,
     DatasetSpec,

@@ -22,6 +22,13 @@ Every subcommand additionally accepts the observability flags
 ``--trace FILE`` (write a Chrome-trace / Perfetto JSON of everything
 the command executed) and ``--metrics`` (print the obs counter totals
 after the command); see ``docs/observability.md``.
+
+``reconstruct`` also exposes the resilience layer: ``--ranks N``
+solves through the simulated distributed operator, ``--faults SPEC``
+injects seeded communication faults into it, ``--checkpoint FILE`` /
+``--checkpoint-every N`` snapshot the solver recurrence, ``--resume
+FILE`` continues a killed run bit-exactly, and ``--health`` arms the
+NaN/divergence monitor; see ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -135,6 +142,12 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
         solver=args.solver,
         iterations=args.iterations,
         operator=operator,
+        num_ranks=args.ranks,
+        faults=args.faults,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        health=args.health or None,
     )
     line = (
         f"{args.solver} x{result.solve.iterations} iterations in "
@@ -144,9 +157,31 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
     if truth is not None:
         line += f"; PSNR {psnr(result.image, truth):.2f} dB"
     print(line)
+    _print_resilience_summary(result)
     np.savez(args.output, reconstruction=result.image)
     print(f"saved reconstruction to {args.output}")
     return 0
+
+
+def _print_resilience_summary(result) -> None:
+    """Report what the resilience layer injected, healed, and saved."""
+    stats = result.extra.get("fault_stats")
+    if stats:
+        print(
+            "faults: "
+            f"{stats['drops']} dropped, {stats['corruptions']} corrupted, "
+            f"{stats['delays']} delayed, {stats['crashes']} crashed; "
+            f"{stats['retries']} retries healed {stats['recoveries']} "
+            f"(+{stats['backoff_seconds']:.3g}s simulated backoff)"
+        )
+    for d in result.extra.get("degradations", ()):
+        print(
+            f"rank crash absorbed: ranks {d['dead']} died, work "
+            f"redistributed {d['from_ranks']} -> {d['to_ranks']} ranks"
+        )
+    path = result.extra.get("checkpoint_path")
+    if path:
+        print(f"checkpoint written to {path}")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -340,6 +375,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--solver", default="cg", choices=("cg", "sirt", "sgd", "icd", "fbp"))
     p.add_argument("--iterations", type=int, default=30)
     p.add_argument("--output", "-o", default="reconstruction.npz")
+    p.add_argument(
+        "--ranks", type=int, default=1,
+        help="simulated MPI ranks (>1 uses the distributed operator)",
+    )
+    p.add_argument(
+        "--faults", metavar="SPEC",
+        help="fault-injection spec for the simulated communicator, e.g. "
+        "'drop=0.05,corrupt=0.02,crash=1@3,seed=42' (needs --ranks >= 2); "
+        "see docs/resilience.md",
+    )
+    p.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="write periodic solver checkpoints to FILE (cg/sirt)",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="snapshot the solver recurrence every N iterations (default 10 "
+        "when --checkpoint is given)",
+    )
+    p.add_argument(
+        "--resume", metavar="FILE",
+        help="resume the solve from a checkpoint file (bit-exact for cg)",
+    )
+    p.add_argument(
+        "--health", action="store_true",
+        help="enable the numerical-health monitor (NaN/Inf and divergence "
+        "detection with checkpoint rollback)",
+    )
 
     p = sub.add_parser(
         "bench", help="time the three kernel levels", parents=[obs_flags, cache_flags]

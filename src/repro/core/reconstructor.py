@@ -15,8 +15,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..dist import DistributedOperator, decompose_both
+from ..dist import DistributedOperator, SimComm, decompose_both
 from ..geometry import ParallelBeamGeometry
+from ..resilience import CheckpointManager, FaultConfig, FaultInjector, HealthMonitor
 from ..solvers import SolveResult, cgls, icd, sgd, sirt
 from .operator import MemXCTOperator, OperatorConfig
 from .preprocess import PreprocessReport, preprocess
@@ -24,6 +25,10 @@ from .preprocess import PreprocessReport, preprocess
 __all__ = ["ReconstructionResult", "reconstruct", "SOLVERS"]
 
 SOLVERS = ("cg", "sirt", "sgd", "icd", "fbp")
+
+#: Solvers whose recurrence state the checkpoint/resume/health layer
+#: understands (see docs/resilience.md).
+RESILIENT_SOLVERS = ("cg", "sirt")
 
 
 @dataclass
@@ -83,6 +88,48 @@ def _run_direct_or_matrix_solver(
     raise AssertionError(solver)
 
 
+def _resolve_faults(faults, num_ranks: int) -> FaultInjector | None:
+    """Normalize the ``faults`` argument into an injector (or None)."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        injector = faults
+    elif isinstance(faults, FaultConfig):
+        injector = FaultInjector(faults)
+    elif isinstance(faults, str):
+        injector = FaultInjector(FaultConfig.parse(faults))
+    else:
+        raise TypeError(f"cannot interpret faults spec {faults!r}")
+    if num_ranks < 2:
+        raise ValueError(
+            "fault injection targets the simulated communicator; "
+            "it requires num_ranks >= 2"
+        )
+    return injector
+
+
+def _resolve_resilience_kwargs(
+    solver: str, checkpoint, checkpoint_every: int, resume, health
+) -> dict:
+    """Build the checkpoint/resume/health kwargs for a resilient solver."""
+    extras: dict = {}
+    if checkpoint is not None or checkpoint_every:
+        if not isinstance(checkpoint, CheckpointManager):
+            every = checkpoint_every if checkpoint_every else 10
+            checkpoint = CheckpointManager(checkpoint, every=every)
+        extras["checkpoint"] = checkpoint
+    if resume is not None:
+        extras["resume"] = resume
+    if health is not None and health is not False:
+        extras["health"] = health if isinstance(health, HealthMonitor) else HealthMonitor()
+    if extras and solver not in RESILIENT_SOLVERS:
+        raise ValueError(
+            f"solver {solver!r} does not support checkpoint/resume/health; "
+            f"resilient solvers are {RESILIENT_SOLVERS}"
+        )
+    return extras
+
+
 def reconstruct(
     sinogram: np.ndarray,
     geometry: ParallelBeamGeometry | None = None,
@@ -93,6 +140,11 @@ def reconstruct(
     num_ranks: int = 1,
     operator: MemXCTOperator | None = None,
     preprocess_report: PreprocessReport | None = None,
+    faults=None,
+    checkpoint=None,
+    checkpoint_every: int = 0,
+    resume=None,
+    health=None,
     **solver_kwargs,
 ) -> ReconstructionResult:
     """Reconstruct a tomogram from a 2D sinogram.
@@ -117,6 +169,28 @@ def reconstruct(
     operator, preprocess_report:
         Pass a previously preprocessed operator to skip preprocessing —
         the paper's many-slice amortization (Table 5).
+    faults:
+        Fault-injection spec for the simulated communicator (a spec
+        string like ``"drop=0.05,corrupt=0.02,seed=7"``, a
+        :class:`~repro.resilience.FaultConfig`, or a ready
+        :class:`~repro.resilience.FaultInjector`).  Requires
+        ``num_ranks >= 2``.  Injected transient faults are healed by
+        the reliable transport; rank crashes trigger graceful
+        degradation.  Fault statistics land in ``result.extra``.
+    checkpoint, checkpoint_every:
+        Periodic solver checkpointing: a file path (or
+        :class:`~repro.resilience.CheckpointManager`) plus the
+        snapshot period in iterations (default 10 when only a path is
+        given).  ``checkpoint_every`` alone keeps in-memory snapshots
+        for health rollback.
+    resume:
+        Checkpoint to continue from (path, manager, or snapshot);
+        continuation is bit-exact for CG.
+    health:
+        ``True`` (default monitor) or a configured
+        :class:`~repro.resilience.HealthMonitor` — detects NaN/Inf and
+        sustained divergence, rolling back to the last checkpoint with
+        a damped step.
     solver_kwargs:
         Extra arguments for the chosen solver.
     """
@@ -132,6 +206,11 @@ def reconstruct(
         )
     if num_ranks < 1:
         raise ValueError(f"rank count must be >= 1, got {num_ranks}")
+
+    injector = _resolve_faults(faults, num_ranks)
+    resilience_kwargs = _resolve_resilience_kwargs(
+        solver, checkpoint, checkpoint_every, resume, health
+    )
 
     if operator is None:
         operator, preprocess_report = preprocess(geometry, config=config, ordering=ordering)
@@ -163,11 +242,24 @@ def reconstruct(
         tomo_dec, sino_dec = decompose_both(
             operator.tomo_ordering, operator.sino_ordering, num_ranks
         )
-        solve_op = DistributedOperator(operator.matrix, tomo_dec, sino_dec)
+        comm = SimComm(num_ranks, fault_injector=injector) if injector else None
+        solve_op = DistributedOperator(operator.matrix, tomo_dec, sino_dec, comm=comm)
 
     t0 = time.perf_counter()
-    solve = _run_solver(solver, solve_op, y, iterations, **solver_kwargs)
+    solve = _run_solver(
+        solver, solve_op, y, iterations, **resilience_kwargs, **solver_kwargs
+    )
     solve_seconds = time.perf_counter() - t0
+
+    extra: dict = {}
+    if injector is not None:
+        extra["fault_stats"] = injector.stats.as_dict()
+    if isinstance(solve_op, DistributedOperator) and solve_op.degradations:
+        extra["degradations"] = list(solve_op.degradations)
+        extra["surviving_ranks"] = solve_op.num_ranks
+    manager = resilience_kwargs.get("checkpoint")
+    if manager is not None and manager.path is not None:
+        extra["checkpoint_path"] = str(manager.path)
 
     image = operator.ordered_to_image(solve.x)
     return ReconstructionResult(
@@ -178,4 +270,5 @@ def reconstruct(
         solve_seconds=solve_seconds,
         solver=solver,
         num_ranks=num_ranks,
+        extra=extra,
     )

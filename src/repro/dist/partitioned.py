@@ -19,6 +19,13 @@ pure gather/reduce; there are no scatter races anywhere.
 The operator is numerically exact: ``forward``/``adjoint`` results are
 bit-wise reproducible re-partitionings of the serial SpMV (verified in
 tests for arbitrary rank counts).
+
+Graceful degradation: when the (fault-injected) communicator reports a
+rank crash, the serial-facade passes rebuild the both-domain
+decomposition over the surviving rank count — the dead rank's tomogram
+columns and sinogram rows are redistributed, a fresh communicator is
+attached (same fault injector, same RNG stream), and the pass is
+re-executed.  The solve continues; only the partitioning changed.
 """
 
 from __future__ import annotations
@@ -27,8 +34,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import FAULT_RECOVERIES, add_count, span
+from ..resilience.faults import RankCrashError
 from ..sparse import CSRMatrix, scan_transpose
-from .decomposition import Decomposition
+from .decomposition import Decomposition, decompose_both
 from .simmpi import CommLog, SimComm
 
 __all__ = ["DistributedOperator", "RankData"]
@@ -94,6 +103,8 @@ class DistributedOperator:
         self.sino_dec = sino_dec
         self.num_ranks = tomo_dec.num_ranks
         self.comm = comm if comm is not None else SimComm(self.num_ranks)
+        self.retired_logs: list[CommLog] = []
+        self.degradations: list[dict] = []
         self._recv_local_ids: list[list[np.ndarray]] = []
         if rank_data is not None:
             if len(rank_data) != self.num_ranks:
@@ -205,17 +216,75 @@ class DistributedOperator:
             x_pieces.append(self.ranks[p].partial_transpose.spmv(y_sub))
         return x_pieces
 
+    # -- graceful degradation ----------------------------------------------
+
+    def degrade(self, dead_ranks) -> None:
+        """Redistribute crashed ranks' subdomains to the survivors.
+
+        Rebuilds the both-domain decomposition over ``num_ranks -
+        len(dead_ranks)`` ranks (survivors renumber), re-partitions
+        ``A_p``/``A_p^T`` and the exchange segments, and attaches a
+        fresh communicator that inherits the fault injector so the
+        chaos schedule keeps running.  Requires the global matrix —
+        per-rank-only operators cannot re-shard the lost columns.
+        """
+        dead = sorted(set(int(r) for r in dead_ranks))
+        survivors = self.num_ranks - len(dead)
+        if survivors < 1:
+            raise RankCrashError(dead)
+        if self.matrix is None:
+            raise RuntimeError(
+                "cannot degrade: operator was built from per-rank data only; "
+                "the global matrix is required to redistribute a dead rank"
+            )
+        with span("resilience.degrade", dead=dead, survivors=survivors):
+            injector = self.comm.fault_injector
+            if injector is not None:
+                injector.consume_crashes()
+                injector.record_recovery(len(dead))
+            self.retired_logs.append(self.comm.log)
+            self.degradations.append(
+                {"dead": dead, "from_ranks": self.num_ranks, "to_ranks": survivors}
+            )
+            self.tomo_dec, self.sino_dec = decompose_both(
+                self.tomo_dec.ordering, self.sino_dec.ordering, survivors
+            )
+            self.num_ranks = survivors
+            self.comm = SimComm(survivors, fault_injector=injector)
+            self.ranks = []
+            self._build()
+            self._build_recv_ids()
+        add_count(FAULT_RECOVERIES, len(dead))
+
+    def _absorbing_crashes(self, apply_pass):
+        """Run a serial-facade pass, degrading past any rank crashes."""
+        while True:
+            try:
+                return apply_pass()
+            except RankCrashError as exc:
+                self.degrade(exc.ranks)
+
     # -- serial facade (solver protocol) -----------------------------------
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """``y = A x`` with ordered-domain vectors."""
-        pieces = self.tomo_dec.scatter(np.asarray(x))
-        return self.sino_dec.gather(self.forward_pieces(pieces))
+        x = np.asarray(x)
+
+        def run():
+            pieces = self.tomo_dec.scatter(x)
+            return self.sino_dec.gather(self.forward_pieces(pieces))
+
+        return self._absorbing_crashes(run)
 
     def adjoint(self, y: np.ndarray) -> np.ndarray:
         """``x = A^T y`` with ordered-domain vectors."""
-        pieces = self.sino_dec.scatter(np.asarray(y))
-        return self.tomo_dec.gather(self.adjoint_pieces(pieces))
+        y = np.asarray(y)
+
+        def run():
+            pieces = self.sino_dec.scatter(y)
+            return self.tomo_dec.gather(self.adjoint_pieces(pieces))
+
+        return self._absorbing_crashes(run)
 
     def row_sums(self) -> np.ndarray:
         if self.matrix is not None:

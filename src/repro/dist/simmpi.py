@@ -9,15 +9,43 @@ distributed layer runs all ranks **sequentially in-process** against a
 must do instead).  Data movement is numerically exact — identical to a
 real MPI run — and every byte is logged so the communication matrices
 (paper Fig. 7) and cost models are driven by real traffic.
+
+Resilience
+----------
+A :class:`~repro.resilience.FaultInjector` can be attached (explicitly
+or ambiently through ``REPRO_FAULTS`` / ``REPRO_FAULT_SEED``), in
+which case both collectives run a **reliable transport**: every remote
+message carries a CRC-32 checksum, dropped or corrupted messages are
+detected and re-sent with exponential backoff, and a simulated rank
+crash surfaces as :class:`~repro.resilience.RankCrashError` so the
+partitioned operator can redistribute the dead rank's subdomains
+(graceful degradation).  The :class:`CommLog` keeps recording
+*logical* traffic — retry overhead is reported separately through the
+``fault.*`` obs counters, so cost models and the Fig. 7 communication
+matrices are unchanged by chaos testing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..obs import COMM_BYTES, COMM_MESSAGES, REGISTRY, add_count, span
+from ..obs import (
+    COMM_BYTES,
+    COMM_MESSAGES,
+    FAULT_RECOVERIES,
+    REGISTRY,
+    add_count,
+    span,
+)
+from ..resilience.faults import (
+    CommDeliveryError,
+    FaultConfig,
+    FaultInjector,
+    RankCrashError,
+    payload_crc,
+)
 
 __all__ = ["CommLog", "SimComm"]
 
@@ -29,12 +57,14 @@ class CommLog:
     ``volume_bytes[p, q]`` is the total payload rank ``p`` sent to rank
     ``q``; ``message_counts[p, q]`` the number of nonempty messages.
     Self-sends (``p == q``) are local copies and logged separately so
-    cost models can exclude them.
+    cost models can exclude them.  Both matrices record *logical*
+    traffic: a message that needed three delivery attempts under fault
+    injection is still one message.
     """
 
     size: int
-    volume_bytes: np.ndarray = field(default=None)  # type: ignore[assignment]
-    message_counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+    volume_bytes: np.ndarray | None = None
+    message_counts: np.ndarray | None = None
     collective_calls: int = 0
 
     def __post_init__(self) -> None:
@@ -67,13 +97,23 @@ class CommLog:
 
 
 class SimComm:
-    """A P-rank communicator executed sequentially in one process."""
+    """A P-rank communicator executed sequentially in one process.
 
-    def __init__(self, size: int):
+    ``fault_injector`` enables the reliable-transport path; when
+    omitted, the ambient ``REPRO_FAULTS`` environment spec (if any)
+    supplies one, so unmodified callers can run under chaos.
+    """
+
+    def __init__(self, size: int, fault_injector: FaultInjector | None = None):
         if size <= 0:
             raise ValueError(f"communicator size must be positive, got {size}")
         self.size = size
         self.log = CommLog(size)
+        if fault_injector is None:
+            env_config = FaultConfig.from_env()
+            if env_config is not None:
+                fault_injector = FaultInjector(env_config)
+        self.fault_injector = fault_injector
 
     def reset_log(self) -> None:
         """Zero the traffic counters (e.g. between forward and back passes)."""
@@ -87,6 +127,11 @@ class SimComm:
         send[p][q]``.  Arrays are not copied — sequential simulated
         ranks may alias safely because each rank's compute phase
         finishes before the exchange.
+
+        With a fault injector attached, delivery is checksum-verified
+        and retried; raises :class:`RankCrashError` when a scheduled
+        rank crash fires, :class:`CommDeliveryError` when a message
+        exceeds the retry budget.
         """
         if len(send) != self.size or any(len(row) != self.size for row in send):
             raise ValueError(f"send matrix must be {self.size} x {self.size}")
@@ -114,7 +159,65 @@ class SimComm:
                         remote_messages += 1
         add_count(COMM_BYTES, remote_bytes)
         add_count(COMM_MESSAGES, remote_messages)
-        return [[send[p][q] for p in range(self.size)] for q in range(self.size)]
+        # An injector with nothing configured (all probabilities zero,
+        # no crash schedule) takes the plain path: the armed-but-idle
+        # configuration must not pay the per-message delivery loop.
+        if self.fault_injector is None or not self.fault_injector.config.any_faults:
+            return [[send[p][q] for p in range(self.size)] for q in range(self.size)]
+        return self._alltoallv_reliable(send)
+
+    def _alltoallv_reliable(
+        self, send: list[list[np.ndarray]]
+    ) -> list[list[np.ndarray]]:
+        """Checksum-verified, retried delivery of the exchange."""
+        inj = self.fault_injector
+        inj.begin_collective()
+        dead = inj.dead_ranks()
+        if dead:
+            raise RankCrashError(dead)
+        recv: list[list[np.ndarray]] = [
+            [send[p][q] for p in range(self.size)] for q in range(self.size)
+        ]
+        pending = [
+            (p, q) for p in range(self.size) for q in range(self.size) if p != q
+        ]
+        attempt = 0
+        healed = 0
+        while pending:
+            failed: list[tuple[int, int]] = []
+            for p, q in pending:
+                payload = send[p][q]
+                outcome = inj.draw(p, q)
+                if outcome == "drop":
+                    failed.append((p, q))
+                    continue
+                if outcome == "corrupt":
+                    # The wire frame carries the sender-side CRC; the
+                    # receiver verifies it and rejects the mangled copy.
+                    delivered = inj.corrupt_payload(payload)
+                    if payload_crc(delivered) != payload_crc(payload):
+                        failed.append((p, q))
+                        continue
+                elif outcome == "delay":
+                    inj.stats.backoff_seconds += inj.config.backoff_base
+                recv[q][p] = payload
+                if attempt > 0:
+                    healed += 1
+            if not failed:
+                break
+            if attempt >= inj.config.max_retries:
+                raise CommDeliveryError(
+                    f"{len(failed)} message(s) undeliverable after "
+                    f"{attempt + 1} attempts (e.g. rank {failed[0][0]} -> "
+                    f"{failed[0][1]})"
+                )
+            inj.charge_backoff(attempt, len(failed))
+            pending = failed
+            attempt += 1
+        if healed:
+            inj.record_recovery(healed)
+            add_count(FAULT_RECOVERIES, healed)
+        return recv
 
     def allreduce_sum(self, contributions: list[np.ndarray]) -> np.ndarray:
         """Sum-reduction of one equal-shaped array per rank.
@@ -136,6 +239,8 @@ class SimComm:
 
     def _allreduce_exchange(self, contributions: list[np.ndarray]) -> np.ndarray:
         self.log.collective_calls += 1
+        if self.fault_injector is not None and self.fault_injector.config.any_faults:
+            self._allreduce_reliable_delivery(contributions)
         total = np.zeros_like(np.asarray(contributions[0], dtype=np.float64))
         for c in contributions:
             total += np.asarray(c, dtype=np.float64)
@@ -154,3 +259,49 @@ class SimComm:
         add_count(COMM_BYTES, remote_bytes)
         add_count(COMM_MESSAGES, remote_messages)
         return total
+
+    def _allreduce_reliable_delivery(self, contributions: list[np.ndarray]) -> None:
+        """Fault/retry pass over each rank's reduction-tree contribution.
+
+        The reduction itself stays bit-exact (retry re-sends the
+        original payload), so this only models the *delivery* of each
+        rank's contribution to its ring neighbour.
+        """
+        inj = self.fault_injector
+        inj.begin_collective()
+        dead = inj.dead_ranks()
+        if dead:
+            raise RankCrashError(dead)
+        pending = [p for p in range(self.size) if self.size > 1]
+        attempt = 0
+        healed = 0
+        while pending:
+            failed: list[int] = []
+            for p in pending:
+                payload = contributions[p]
+                outcome = inj.draw(p, (p + 1) % self.size)
+                if outcome == "drop":
+                    failed.append(p)
+                    continue
+                if outcome == "corrupt":
+                    delivered = inj.corrupt_payload(payload)
+                    if payload_crc(delivered) != payload_crc(payload):
+                        failed.append(p)
+                        continue
+                elif outcome == "delay":
+                    inj.stats.backoff_seconds += inj.config.backoff_base
+                if attempt > 0:
+                    healed += 1
+            if not failed:
+                break
+            if attempt >= inj.config.max_retries:
+                raise CommDeliveryError(
+                    f"{len(failed)} allreduce contribution(s) undeliverable "
+                    f"after {attempt + 1} attempts"
+                )
+            inj.charge_backoff(attempt, len(failed))
+            pending = failed
+            attempt += 1
+        if healed:
+            inj.record_recovery(healed)
+            add_count(FAULT_RECOVERIES, healed)

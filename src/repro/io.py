@@ -20,8 +20,6 @@ payload arrays which is verified on load; a flipped bit surfaces as
 
 from __future__ import annotations
 
-import os
-import zlib
 from pathlib import Path
 
 import numpy as np
@@ -29,6 +27,8 @@ import numpy as np
 from .core import MemXCTOperator, OperatorConfig
 from .geometry import Grid2D, ParallelBeamGeometry
 from .ordering import DomainOrdering
+from .persist import atomic_savez as _atomic_savez
+from .persist import payload_checksum as _payload_checksum
 from .sparse import (
     BufferedMatrix,
     CSRMatrix,
@@ -61,41 +61,9 @@ class OperatorIntegrityError(ValueError):
     """The file is unreadable, truncated, or fails its checksum."""
 
 
-# -- checksum / atomic write ------------------------------------------------
-
-
-def _raw_buffer(value) -> bytes | memoryview:
-    """C-order raw bytes of an array, without copying when possible."""
-    arr = np.ascontiguousarray(np.asarray(value))
-    try:
-        return memoryview(arr).cast("B")
-    except (TypeError, NotImplementedError):  # e.g. unicode dtypes
-        return arr.tobytes()
-
-
-def _payload_checksum(payload: dict) -> int:
-    """CRC-32 over every payload array (name + raw bytes), name-sorted."""
-    crc = 0
-    for name in sorted(payload):
-        if name == "checksum":
-            continue
-        crc = zlib.crc32(name.encode("utf-8"), crc)
-        crc = zlib.crc32(_raw_buffer(payload[name]), crc)
-    return crc & 0xFFFFFFFF
-
-
-def _atomic_savez(path: Path, payload: dict, compress: bool) -> None:
-    """Write ``payload`` as an npz archive via temp file + rename."""
-    writer = np.savez_compressed if compress else np.savez
-    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    try:
-        with open(tmp, "wb") as fh:
-            writer(fh, **payload)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
+# The checksum / atomic-write primitives live in repro.persist so the
+# operator format, the plan cache, and solver checkpoints share one
+# hardened path (imported above as _payload_checksum / _atomic_savez).
 
 
 # -- layout <-> array helpers ----------------------------------------------

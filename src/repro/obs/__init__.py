@@ -37,8 +37,19 @@ from .counters import (
     CACHE_EVICTIONS,
     CACHE_HITS,
     CACHE_MISSES,
+    CHECKPOINT_BYTES_WRITTEN,
+    CHECKPOINT_RESTORES,
+    CHECKPOINT_SAVES,
     COMM_BYTES,
     COMM_MESSAGES,
+    FAULT_CORRUPTIONS,
+    FAULT_CRASHES,
+    FAULT_DELAYS,
+    FAULT_DROPS,
+    FAULT_RECOVERIES,
+    FAULT_RETRIES,
+    HEALTH_EVENTS,
+    HEALTH_ROLLBACKS,
     SOLVER_ITERATIONS,
     SPMV_CALLS,
     SPMV_FLOPS,
@@ -58,8 +69,19 @@ __all__ = [
     "CACHE_EVICTIONS",
     "CACHE_HITS",
     "CACHE_MISSES",
+    "CHECKPOINT_BYTES_WRITTEN",
+    "CHECKPOINT_RESTORES",
+    "CHECKPOINT_SAVES",
     "COMM_BYTES",
     "COMM_MESSAGES",
+    "FAULT_CORRUPTIONS",
+    "FAULT_CRASHES",
+    "FAULT_DELAYS",
+    "FAULT_DROPS",
+    "FAULT_RECOVERIES",
+    "FAULT_RETRIES",
+    "HEALTH_EVENTS",
+    "HEALTH_ROLLBACKS",
     "SOLVER_ITERATIONS",
     "SPMV_CALLS",
     "SPMV_FLOPS",

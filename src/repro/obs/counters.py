@@ -31,6 +31,17 @@ __all__ = [
     "CACHE_BYTES_READ",
     "CACHE_BYTES_WRITTEN",
     "CACHE_EVICTIONS",
+    "FAULT_DROPS",
+    "FAULT_CORRUPTIONS",
+    "FAULT_DELAYS",
+    "FAULT_CRASHES",
+    "FAULT_RETRIES",
+    "FAULT_RECOVERIES",
+    "CHECKPOINT_SAVES",
+    "CHECKPOINT_RESTORES",
+    "CHECKPOINT_BYTES_WRITTEN",
+    "HEALTH_EVENTS",
+    "HEALTH_ROLLBACKS",
 ]
 
 #: FMA work of every SpMV executed (2 flops per stored nonzero).
@@ -59,6 +70,28 @@ CACHE_BYTES_READ = "cache.bytes_read"
 CACHE_BYTES_WRITTEN = "cache.bytes_written"
 #: Entries removed by the size-capped eviction policy.
 CACHE_EVICTIONS = "cache.evictions"
+#: Injected message-loss faults (message never arrived, retried).
+FAULT_DROPS = "fault.drops"
+#: Injected payload corruptions caught by the receive-side checksum.
+FAULT_CORRUPTIONS = "fault.corruptions"
+#: Injected message delays (delivered late; backoff time charged).
+FAULT_DELAYS = "fault.delays"
+#: Simulated rank crashes (each triggers graceful degradation).
+FAULT_CRASHES = "fault.crashes"
+#: Re-delivery attempts made by the reliable-transport retry loop.
+FAULT_RETRIES = "fault.retries"
+#: Faults fully healed (messages re-delivered, crashed ranks absorbed).
+FAULT_RECOVERIES = "fault.recoveries"
+#: Solver-state snapshots persisted by the checkpoint manager.
+CHECKPOINT_SAVES = "checkpoint.saves"
+#: Solver-state snapshots restored (resume or health rollback).
+CHECKPOINT_RESTORES = "checkpoint.restores"
+#: Bytes written to checkpoint files.
+CHECKPOINT_BYTES_WRITTEN = "checkpoint.bytes_written"
+#: Numerical-health incidents (NaN/Inf or sustained divergence).
+HEALTH_EVENTS = "health.events"
+#: Health-triggered rollbacks to the last checkpoint.
+HEALTH_ROLLBACKS = "health.rollbacks"
 
 #: Default unit per canonical counter name.
 CANONICAL_UNITS = {
@@ -75,6 +108,17 @@ CANONICAL_UNITS = {
     CACHE_BYTES_READ: "byte",
     CACHE_BYTES_WRITTEN: "byte",
     CACHE_EVICTIONS: "entry",
+    FAULT_DROPS: "message",
+    FAULT_CORRUPTIONS: "message",
+    FAULT_DELAYS: "message",
+    FAULT_CRASHES: "rank",
+    FAULT_RETRIES: "attempt",
+    FAULT_RECOVERIES: "event",
+    CHECKPOINT_SAVES: "snapshot",
+    CHECKPOINT_RESTORES: "snapshot",
+    CHECKPOINT_BYTES_WRITTEN: "byte",
+    HEALTH_EVENTS: "event",
+    HEALTH_ROLLBACKS: "rollback",
 }
 
 

@@ -1,0 +1,65 @@
+"""Crash-safe archive primitives shared by every on-disk format.
+
+Three robustness properties, factored out of :mod:`repro.io` so the
+operator format, the plan cache, and solver checkpoints all go through
+the *same* hardened path:
+
+* **Atomic writes** — payloads are written to a temporary file in the
+  destination directory, fsynced, and renamed into place.  A crashed
+  or killed writer leaves at most a stray ``*.tmp-<pid>`` file, never
+  a truncated archive under the final name.
+* **Content checksums** — :func:`payload_checksum` computes a CRC-32
+  over every payload array (name + raw bytes, name-sorted) so loaders
+  can detect silent bit corruption instead of returning corrupt
+  physics.
+* **Zero copies where possible** — checksumming uses a raw memoryview
+  of each array rather than serializing it twice.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["raw_buffer", "payload_checksum", "atomic_savez"]
+
+
+def raw_buffer(value) -> bytes | memoryview:
+    """C-order raw bytes of an array, without copying when possible."""
+    arr = np.ascontiguousarray(np.asarray(value))
+    try:
+        return memoryview(arr).cast("B")
+    except (TypeError, NotImplementedError):  # e.g. unicode dtypes
+        return arr.tobytes()
+
+
+def payload_checksum(payload: dict) -> int:
+    """CRC-32 over every payload array (name + raw bytes), name-sorted.
+
+    The ``checksum`` key itself is excluded so the stored checksum can
+    live inside the payload it protects.
+    """
+    crc = 0
+    for name in sorted(payload):
+        if name == "checksum":
+            continue
+        crc = zlib.crc32(name.encode("utf-8"), crc)
+        crc = zlib.crc32(raw_buffer(payload[name]), crc)
+    return crc & 0xFFFFFFFF
+
+
+def atomic_savez(path: Path, payload: dict, compress: bool) -> None:
+    """Write ``payload`` as an npz archive via temp file + rename."""
+    writer = np.savez_compressed if compress else np.savez
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            writer(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)

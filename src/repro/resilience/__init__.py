@@ -1,0 +1,56 @@
+"""repro.resilience — fault injection, checkpoint/restart, health guards.
+
+The assumption behind the paper's 4096-node runs — every rank and
+every Alltoallv message survives — does not hold in production.  This
+package makes the reproduction *fail like a real machine* and *recover
+like a production system*:
+
+* :mod:`repro.resilience.faults` — a deterministic, seeded fault
+  injector (message drop / payload corruption / delay / rank crash)
+  that plugs into :class:`repro.dist.SimComm`, plus the errors its
+  recovery policies raise when healing fails;
+* :mod:`repro.resilience.checkpoint` — periodic solver-state
+  snapshots through the crash-safe atomic-write + CRC path, with
+  bit-exact resume;
+* :mod:`repro.resilience.health` — a NaN/Inf + divergence watchdog
+  that triggers checkpoint rollback with a damped step instead of
+  crashing (or silently emitting garbage).
+
+Everything reports through the ``fault.*`` / ``checkpoint.*`` /
+``health.*`` obs counters; see ``docs/resilience.md``.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    CheckpointIntegrityWarning,
+    CheckpointManager,
+    SolverCheckpoint,
+)
+from .faults import (
+    CommDeliveryError,
+    FaultConfig,
+    FaultInjector,
+    FaultStats,
+    RankCrashError,
+    parse_fault_spec,
+    payload_crc,
+)
+from .health import HealthIncident, HealthMonitor
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointIntegrityWarning",
+    "CheckpointManager",
+    "SolverCheckpoint",
+    "CommDeliveryError",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "RankCrashError",
+    "parse_fault_spec",
+    "payload_crc",
+    "HealthIncident",
+    "HealthMonitor",
+]

@@ -1,0 +1,122 @@
+"""Numerical-health monitoring for iterative solvers.
+
+Pathological sinograms (dead detector rows, saturated channels,
+photon-starved scans) can drive an iterative solve to NaN/Inf or into
+sustained residual divergence — and at 30+ iterations per slice times
+thousands of slices, a silent NaN is worse than a crash.  The
+:class:`HealthMonitor` watches the quantities every solver already
+computes per iteration (the iterate and the residual norm appended
+inside the ``solver.iteration`` span) and classifies each iteration:
+
+* **ok** — carry on;
+* **rollback** — an incident occurred (NaN/Inf, or the residual has
+  exceeded ``divergence_factor`` times its best value for
+  ``divergence_window`` consecutive iterations) and a checkpoint is
+  worth restoring with a damped step;
+* **abort** — the rollback budget is exhausted (or no recovery is
+  possible); the solver should stop early with a truthful
+  ``stop_reason`` instead of emitting garbage.
+
+The monitor is policy-free about *how* to roll back — CGLS restarts
+the recurrence from the checkpointed iterate with a halved step scale,
+SIRT halves its relaxation — it only decides *when*.  Incidents and
+rollbacks are reported through the ``health.*`` obs counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs import HEALTH_EVENTS, HEALTH_ROLLBACKS, add_count
+
+__all__ = ["HealthMonitor", "HealthIncident"]
+
+
+@dataclass
+class HealthIncident:
+    """One detected numerical-health incident."""
+
+    iteration: int
+    kind: str  # "non-finite" | "divergence"
+    detail: str
+
+
+@dataclass
+class HealthMonitor:
+    """NaN/Inf and divergence watchdog with a bounded rollback budget.
+
+    Parameters
+    ----------
+    divergence_window:
+        Consecutive iterations the residual must stay above the
+        divergence threshold before an incident is declared.
+    divergence_factor:
+        Multiple of the best-seen residual norm that counts as
+        "diverged".
+    max_rollbacks:
+        Recovery attempts before the monitor demands an abort.
+    """
+
+    divergence_window: int = 5
+    divergence_factor: float = 10.0
+    max_rollbacks: int = 3
+    incidents: list[HealthIncident] = field(default_factory=list)
+    rollbacks: int = 0
+    _best_residual: float = float("inf")
+    _streak: int = 0
+
+    def observe(self, iteration: int, x: np.ndarray, residual_norm: float) -> str:
+        """Classify one completed iteration: ``ok``/``rollback``/``abort``."""
+        incident = self._classify(iteration, x, residual_norm)
+        if incident is None:
+            return "ok"
+        self.incidents.append(incident)
+        add_count(HEALTH_EVENTS, 1)
+        if self.rollbacks >= self.max_rollbacks:
+            return "abort"
+        return "rollback"
+
+    def rolled_back(self) -> None:
+        """The solver actually restored a checkpoint; consume budget."""
+        self.rollbacks += 1
+        self._streak = 0
+        add_count(HEALTH_ROLLBACKS, 1)
+
+    @property
+    def last_incident(self) -> HealthIncident | None:
+        return self.incidents[-1] if self.incidents else None
+
+    def _classify(
+        self, iteration: int, x: np.ndarray, residual_norm: float
+    ) -> HealthIncident | None:
+        if not np.isfinite(residual_norm) or not np.all(np.isfinite(x)):
+            return HealthIncident(
+                iteration=iteration,
+                kind="non-finite",
+                detail=f"NaN/Inf in iterate or residual at iteration {iteration}",
+            )
+        if residual_norm < self._best_residual:
+            self._best_residual = residual_norm
+            self._streak = 0
+            return None
+        if (
+            self._best_residual > 0
+            and residual_norm > self.divergence_factor * self._best_residual
+        ):
+            self._streak += 1
+            if self._streak >= self.divergence_window:
+                streak, self._streak = self._streak, 0
+                return HealthIncident(
+                    iteration=iteration,
+                    kind="divergence",
+                    detail=(
+                        f"residual {residual_norm:.3g} stayed above "
+                        f"{self.divergence_factor:g} x best "
+                        f"({self._best_residual:.3g}) for {streak} iterations"
+                    ),
+                )
+        else:
+            self._streak = 0
+        return None

@@ -1,6 +1,12 @@
 """Iterative solvers (paper Section 3.5.2): CGLS, SIRT, SGD, L-curve."""
 
-from .base import MatrixOperator, ProjectionOperator, SolveResult
+from .base import (
+    MatrixOperator,
+    ProjectionOperator,
+    SolveResult,
+    observe_health,
+    resolve_resume,
+)
 from .cg import cgls
 from .fbp import fbp, ramp_filter
 from .icd import icd
@@ -23,6 +29,8 @@ __all__ = [
     "regularized_cgls",
     "lcurve_corner",
     "overfit_onset",
+    "observe_health",
+    "resolve_resume",
     "sgd",
     "sirt",
 ]

@@ -15,6 +15,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from ..obs import SOLVER_ITERATIONS, add_count, span
+from ..resilience.checkpoint import CheckpointError, CheckpointManager, SolverCheckpoint
 
 __all__ = [
     "ProjectionOperator",
@@ -22,6 +23,8 @@ __all__ = [
     "SolveResult",
     "solve_span",
     "iteration_span",
+    "resolve_resume",
+    "observe_health",
 ]
 
 
@@ -44,6 +47,44 @@ def iteration_span(solver: str, iteration: int) -> span:
     """
     add_count(SOLVER_ITERATIONS, 1)
     return span("solver.iteration", solver=solver, iteration=iteration)
+
+
+def resolve_resume(resume, solver: str) -> SolverCheckpoint | None:
+    """Normalize a solver's ``resume`` argument into a checkpoint.
+
+    Accepts a :class:`~repro.resilience.SolverCheckpoint`, a
+    :class:`~repro.resilience.CheckpointManager`, or a checkpoint file
+    path; validates that the snapshot belongs to ``solver`` (resuming a
+    CG run with SIRT state would be silent nonsense).  An unusable or
+    missing checkpoint raises :class:`~repro.resilience.CheckpointError`
+    — an explicit resume must never silently cold-start.
+    """
+    if resume is None:
+        return None
+    if isinstance(resume, SolverCheckpoint):
+        checkpoint = resume
+    elif isinstance(resume, CheckpointManager):
+        checkpoint = resume.require()
+    else:
+        checkpoint = CheckpointManager(resume).require()
+    if checkpoint.solver != solver:
+        raise CheckpointError(
+            f"checkpoint holds {checkpoint.solver!r} state, cannot resume "
+            f"a {solver!r} solve from it"
+        )
+    return checkpoint
+
+
+def observe_health(health, iteration: int, x: np.ndarray, residual_norm: float) -> str:
+    """Health hook run inside each iteration span.
+
+    Returns ``"ok"`` when no monitor is attached or the iterate is
+    healthy, otherwise the monitor's verdict (``"rollback"`` /
+    ``"abort"``) for the solver's recovery policy to act on.
+    """
+    if health is None:
+        return "ok"
+    return health.observe(iteration, x, residual_norm)
 
 
 @runtime_checkable

@@ -10,13 +10,31 @@ directions conjugate to previous ones.
 The implementation is the textbook CGLS recurrence (paper ref [24],
 Barrett et al.), which applies ``A`` and ``A^T`` exactly once per
 iteration.
+
+Resilience hooks (see ``docs/resilience.md``):
+
+* ``checkpoint`` — a :class:`~repro.resilience.CheckpointManager`
+  snapshots the full recurrence state ``(x, r, p, gamma, gamma0)``
+  every N iterations; ``resume`` continues a killed run
+  **bit-exactly** from such a snapshot.
+* ``health`` — a :class:`~repro.resilience.HealthMonitor` watches each
+  iterate; on NaN/Inf or sustained divergence the solver rolls back to
+  the last checkpoint and restarts the recurrence with a halved step
+  scale (damped steepest-descent restart) instead of crashing.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .base import ProjectionOperator, SolveResult, iteration_span, solve_span
+from .base import (
+    ProjectionOperator,
+    SolveResult,
+    iteration_span,
+    observe_health,
+    resolve_resume,
+    solve_span,
+)
 
 __all__ = ["cgls"]
 
@@ -28,6 +46,9 @@ def cgls(
     x0: np.ndarray | None = None,
     tolerance: float = 0.0,
     callback=None,
+    checkpoint=None,
+    resume=None,
+    health=None,
 ) -> SolveResult:
     """Run CGLS iterations for ``min_x ||A x - y||``.
 
@@ -49,28 +70,62 @@ def cgls(
         (``||A^T r|| <= tolerance * ||A^T y||``); 0 disables.
     callback:
         Optional ``callback(iteration, x)`` invoked after each update.
+    checkpoint:
+        Optional :class:`~repro.resilience.CheckpointManager`; the
+        recurrence state is snapshotted per its periodic policy.
+    resume:
+        Checkpoint to continue from (a
+        :class:`~repro.resilience.SolverCheckpoint`, a manager, or a
+        file path).  Continuation is bit-exact: no operator
+        applications are re-run to reconstruct state.
+    health:
+        Optional :class:`~repro.resilience.HealthMonitor`.
     """
     y = np.asarray(y, dtype=np.float64).reshape(-1)
     if y.shape[0] != op.num_rays:
         raise ValueError(f"sinogram has {y.shape[0]} entries, expected {op.num_rays}")
-    x = (
-        np.zeros(op.num_pixels, dtype=np.float64)
-        if x0 is None
-        else np.asarray(x0, dtype=np.float64).copy()
-    )
+
+    restored = resolve_resume(resume, "cg")
 
     with solve_span("cg", num_iterations=num_iterations):
-        r = y - np.asarray(op.forward(x), dtype=np.float64)
-        s = np.asarray(op.adjoint(r), dtype=np.float64)
-        p = s.copy()
-        gamma = float(s @ s)
-        gamma0 = gamma
+        if restored is not None:
+            x = np.array(restored.arrays["x"], dtype=np.float64)
+            r = np.array(restored.arrays["r"], dtype=np.float64)
+            p = np.array(restored.arrays["p"], dtype=np.float64)
+            gamma = float(restored.scalars["gamma"])
+            gamma0 = float(restored.scalars["gamma0"])
+            damping = float(restored.scalars.get("damping", 1.0))
+            start_iteration = restored.iteration
+            result = SolveResult(x=x, iterations=start_iteration)
+            result.residual_norms = list(restored.residual_norms)
+            result.solution_norms = list(restored.solution_norms)
+        else:
+            x = (
+                np.zeros(op.num_pixels, dtype=np.float64)
+                if x0 is None
+                else np.asarray(x0, dtype=np.float64).copy()
+            )
+            r = y - np.asarray(op.forward(x), dtype=np.float64)
+            s = np.asarray(op.adjoint(r), dtype=np.float64)
+            p = s.copy()
+            gamma = float(s @ s)
+            gamma0 = gamma
+            damping = 1.0
+            start_iteration = 0
+            result = SolveResult(x=x, iterations=0)
+            result.residual_norms.append(float(np.linalg.norm(r)))
+            result.solution_norms.append(float(np.linalg.norm(x)))
 
-        result = SolveResult(x=x, iterations=0)
-        result.residual_norms.append(float(np.linalg.norm(r)))
-        result.solution_norms.append(float(np.linalg.norm(x)))
+        if gamma == 0.0:
+            # All-zero gradient at the start (e.g. an all-zero sinogram
+            # with x0 = 0): x already solves the normal equations and
+            # every alpha/beta denominator downstream would be zero.
+            result.x = x
+            result.converged = True
+            result.stop_reason = "zero gradient at start: x0 solves the normal equations"
+            return result
 
-        for it in range(num_iterations):
+        for it in range(start_iteration, num_iterations):
             if gamma == 0.0:
                 result.converged = True
                 result.stop_reason = "exact solution reached"
@@ -79,9 +134,13 @@ def cgls(
                 q = np.asarray(op.forward(p), dtype=np.float64)
                 qq = float(q @ q)
                 if qq == 0.0:
+                    # p in null(A) can only follow from gamma == 0 in
+                    # exact arithmetic; guard the alpha denominator
+                    # against the float edge case regardless.
+                    result.converged = True
                     result.stop_reason = "search direction in null space"
                     break
-                alpha = gamma / qq
+                alpha = damping * (gamma / qq)
                 x += alpha * p
                 r -= alpha * q
                 s = np.asarray(op.adjoint(r), dtype=np.float64)
@@ -91,8 +150,64 @@ def cgls(
                 gamma = gamma_new
 
                 result.iterations = it + 1
-                result.residual_norms.append(float(np.linalg.norm(r)))
+                rnorm = float(np.linalg.norm(r))
+                result.residual_norms.append(rnorm)
                 result.solution_norms.append(float(np.linalg.norm(x)))
+
+                # Health verdict comes BEFORE the snapshot: a poisoned
+                # iterate landing on a save boundary must never
+                # overwrite the healthy rollback target.
+                action = observe_health(health, it + 1, x, rnorm)
+                if action == "ok" and checkpoint is not None:
+                    from ..resilience.checkpoint import SolverCheckpoint
+
+                    checkpoint.maybe_save(
+                        SolverCheckpoint(
+                            solver="cg",
+                            iteration=it + 1,
+                            arrays={"x": x, "r": r, "p": p},
+                            scalars={
+                                "gamma": gamma,
+                                "gamma0": gamma0,
+                                "damping": damping,
+                            },
+                            residual_norms=result.residual_norms,
+                            solution_norms=result.solution_norms,
+                        )
+                    )
+            if action != "ok":
+                last = checkpoint.last if checkpoint is not None else None
+                if action == "rollback" and last is not None:
+                    # Damped restart from the snapshot: restore the
+                    # iterate and residual, rebuild the search direction
+                    # as steepest descent, and halve the step scale.
+                    x = np.array(last.arrays["x"], dtype=np.float64)
+                    r = np.array(last.arrays["r"], dtype=np.float64)
+                    s = np.asarray(op.adjoint(r), dtype=np.float64)
+                    p = s.copy()
+                    gamma = float(s @ s)
+                    damping *= 0.5
+                    result.x = x
+                    result.iterations = last.iteration
+                    result.residual_norms = list(last.residual_norms)
+                    result.solution_norms = list(last.solution_norms)
+                    health.rolled_back()
+                    continue
+                if last is not None:
+                    # Abort returns the last healthy snapshot, not the
+                    # poisoned iterate.
+                    x = np.array(last.arrays["x"], dtype=np.float64)
+                    result.x = x
+                    result.iterations = last.iteration
+                    result.residual_norms = list(last.residual_norms)
+                    result.solution_norms = list(last.solution_norms)
+                incident = health.last_incident
+                result.stop_reason = (
+                    f"numerical health abort: {incident.detail}"
+                    if incident is not None
+                    else "numerical health abort"
+                )
+                break
             if callback is not None:
                 callback(it + 1, x)
             if tolerance > 0.0 and gamma <= (tolerance**2) * gamma0:

@@ -19,7 +19,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import ProjectionOperator, SolveResult, iteration_span, solve_span
+from .base import (
+    ProjectionOperator,
+    SolveResult,
+    iteration_span,
+    observe_health,
+    resolve_resume,
+    solve_span,
+)
 
 __all__ = ["mlem"]
 
@@ -32,6 +39,9 @@ def mlem(
     num_iterations: int = 50,
     x0: np.ndarray | None = None,
     callback=None,
+    checkpoint=None,
+    resume=None,
+    health=None,
 ) -> SolveResult:
     """Run MLEM iterations for non-negative measurements ``y``.
 
@@ -44,29 +54,48 @@ def mlem(
     x0:
         Strictly positive initial estimate (default: uniform ones);
         zeros would be fixed points of the multiplicative update.
+    checkpoint, resume:
+        Periodic recurrence snapshots / bit-exact continuation (the
+        multiplicative recurrence is fully determined by ``x``).
+    health:
+        Optional :class:`~repro.resilience.HealthMonitor`.  MLEM has
+        no step size to damp, so an incident restores the last
+        snapshot once and otherwise stops early with a truthful
+        ``stop_reason``.
     """
     y = np.asarray(y, dtype=np.float64).reshape(-1)
     if y.shape[0] != op.num_rays:
         raise ValueError(f"y has {y.shape[0]} entries, expected {op.num_rays}")
     if (y < 0).any():
         raise ValueError("MLEM requires non-negative measurements")
-    if x0 is None:
-        x = np.ones(op.num_pixels, dtype=np.float64)
+
+    restored = resolve_resume(resume, "mlem")
+    if restored is not None:
+        x = np.array(restored.arrays["x"], dtype=np.float64)
+        start_iteration = restored.iteration
     else:
-        x = np.asarray(x0, dtype=np.float64).copy()
-        if (x <= 0).any():
-            raise ValueError("MLEM initial estimate must be strictly positive")
+        if x0 is None:
+            x = np.ones(op.num_pixels, dtype=np.float64)
+        else:
+            x = np.asarray(x0, dtype=np.float64).copy()
+            if (x <= 0).any():
+                raise ValueError("MLEM initial estimate must be strictly positive")
+        start_iteration = 0
 
     sensitivity = np.asarray(op.adjoint(np.ones(op.num_rays)), dtype=np.float64)
     support = sensitivity > _EPS
 
-    result = SolveResult(x=x, iterations=0)
+    result = SolveResult(x=x, iterations=start_iteration)
     forward = np.asarray(op.forward(x), dtype=np.float64)
-    result.residual_norms.append(float(np.linalg.norm(y - forward)))
-    result.solution_norms.append(float(np.linalg.norm(x)))
+    if restored is not None:
+        result.residual_norms = list(restored.residual_norms)
+        result.solution_norms = list(restored.solution_norms)
+    else:
+        result.residual_norms.append(float(np.linalg.norm(y - forward)))
+        result.solution_norms.append(float(np.linalg.norm(x)))
 
     with solve_span("mlem", num_iterations=num_iterations):
-        for it in range(num_iterations):
+        for it in range(start_iteration, num_iterations):
             with iteration_span("mlem", it):
                 ratio = np.zeros_like(y)
                 positive = forward > _EPS
@@ -77,11 +106,45 @@ def mlem(
 
                 forward = np.asarray(op.forward(x), dtype=np.float64)
                 result.iterations = it + 1
-                result.residual_norms.append(float(np.linalg.norm(y - forward)))
+                rnorm = float(np.linalg.norm(y - forward))
+                result.residual_norms.append(rnorm)
                 result.solution_norms.append(float(np.linalg.norm(x)))
+
+                # Health verdict comes BEFORE the snapshot: a poisoned
+                # iterate landing on a save boundary must never
+                # overwrite the healthy rollback target.
+                action = observe_health(health, it + 1, x, rnorm)
+                if action == "ok" and checkpoint is not None:
+                    from ..resilience.checkpoint import SolverCheckpoint
+
+                    checkpoint.maybe_save(
+                        SolverCheckpoint(
+                            solver="mlem",
+                            iteration=it + 1,
+                            arrays={"x": x},
+                            residual_norms=result.residual_norms,
+                            solution_norms=result.solution_norms,
+                        )
+                    )
+            if action != "ok":
+                last = checkpoint.last if checkpoint is not None else None
+                if last is not None and np.all(np.isfinite(last.arrays["x"])):
+                    x = np.array(last.arrays["x"], dtype=np.float64)
+                    result.x = x
+                    result.iterations = last.iteration
+                    result.residual_norms = list(last.residual_norms)
+                    result.solution_norms = list(last.solution_norms)
+                incident = health.last_incident
+                result.stop_reason = (
+                    f"numerical health abort: {incident.detail}"
+                    if incident is not None
+                    else "numerical health abort"
+                )
+                break
             if callback is not None:
                 callback(it + 1, x)
 
     result.x = x
-    result.stop_reason = "iteration budget exhausted"
+    if not result.stop_reason:
+        result.stop_reason = "iteration budget exhausted"
     return result

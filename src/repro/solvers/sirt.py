@@ -15,7 +15,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import ProjectionOperator, SolveResult, iteration_span, solve_span
+from .base import (
+    ProjectionOperator,
+    SolveResult,
+    iteration_span,
+    observe_health,
+    resolve_resume,
+    solve_span,
+)
 
 __all__ = ["sirt"]
 
@@ -36,6 +43,9 @@ def sirt(
     relaxation: float = 1.0,
     nonnegativity: bool = False,
     callback=None,
+    checkpoint=None,
+    resume=None,
+    health=None,
 ) -> SolveResult:
     """Run SIRT iterations.
 
@@ -55,15 +65,34 @@ def sirt(
     nonnegativity:
         Clip negative pixels after each update (a common physical
         constraint ``C`` in the paper's Eq. 1).
+    checkpoint:
+        Optional :class:`~repro.resilience.CheckpointManager`;
+        SIRT's full recurrence state is the iterate ``x`` (the
+        residual is recomputed from it), so snapshots are one array.
+    resume:
+        Checkpoint to continue from (bit-exact: the residual recompute
+        ``y - A x`` is the same operation the uninterrupted run
+        performs with the same operands).
+    health:
+        Optional :class:`~repro.resilience.HealthMonitor`; rollback
+        restores the snapshot and halves the relaxation.
     """
     y = np.asarray(y, dtype=np.float64).reshape(-1)
     if y.shape[0] != op.num_rays:
         raise ValueError(f"sinogram has {y.shape[0]} entries, expected {op.num_rays}")
-    x = (
-        np.zeros(op.num_pixels, dtype=np.float64)
-        if x0 is None
-        else np.asarray(x0, dtype=np.float64).copy()
-    )
+
+    restored = resolve_resume(resume, "sirt")
+    if restored is not None:
+        x = np.array(restored.arrays["x"], dtype=np.float64)
+        relaxation = float(restored.scalars.get("relaxation", relaxation))
+        start_iteration = restored.iteration
+    else:
+        x = (
+            np.zeros(op.num_pixels, dtype=np.float64)
+            if x0 is None
+            else np.asarray(x0, dtype=np.float64).copy()
+        )
+        start_iteration = 0
 
     if hasattr(op, "row_sums") and hasattr(op, "col_sums"):
         row_sums = np.asarray(op.row_sums(), dtype=np.float64)
@@ -74,13 +103,17 @@ def sirt(
     r_inv = _safe_reciprocal(row_sums)
     c_inv = _safe_reciprocal(col_sums)
 
-    result = SolveResult(x=x, iterations=0)
+    result = SolveResult(x=x, iterations=start_iteration)
     residual = y - np.asarray(op.forward(x), dtype=np.float64)
-    result.residual_norms.append(float(np.linalg.norm(residual)))
-    result.solution_norms.append(float(np.linalg.norm(x)))
+    if restored is not None:
+        result.residual_norms = list(restored.residual_norms)
+        result.solution_norms = list(restored.solution_norms)
+    else:
+        result.residual_norms.append(float(np.linalg.norm(residual)))
+        result.solution_norms.append(float(np.linalg.norm(x)))
 
     with solve_span("sirt", num_iterations=num_iterations):
-        for it in range(num_iterations):
+        for it in range(start_iteration, num_iterations):
             with iteration_span("sirt", it):
                 update = c_inv * np.asarray(
                     op.adjoint(r_inv * residual), dtype=np.float64
@@ -91,11 +124,58 @@ def sirt(
                 residual = y - np.asarray(op.forward(x), dtype=np.float64)
 
                 result.iterations = it + 1
-                result.residual_norms.append(float(np.linalg.norm(residual)))
+                rnorm = float(np.linalg.norm(residual))
+                result.residual_norms.append(rnorm)
                 result.solution_norms.append(float(np.linalg.norm(x)))
+
+                # Health verdict comes BEFORE the snapshot: a poisoned
+                # iterate landing on a save boundary must never
+                # overwrite the healthy rollback target.
+                action = observe_health(health, it + 1, x, rnorm)
+                if action == "ok" and checkpoint is not None:
+                    from ..resilience.checkpoint import SolverCheckpoint
+
+                    checkpoint.maybe_save(
+                        SolverCheckpoint(
+                            solver="sirt",
+                            iteration=it + 1,
+                            arrays={"x": x},
+                            scalars={"relaxation": relaxation},
+                            residual_norms=result.residual_norms,
+                            solution_norms=result.solution_norms,
+                        )
+                    )
+            if action != "ok":
+                last = checkpoint.last if checkpoint is not None else None
+                if action == "rollback" and last is not None:
+                    x = np.array(last.arrays["x"], dtype=np.float64)
+                    residual = y - np.asarray(op.forward(x), dtype=np.float64)
+                    relaxation *= 0.5
+                    result.x = x
+                    result.iterations = last.iteration
+                    result.residual_norms = list(last.residual_norms)
+                    result.solution_norms = list(last.solution_norms)
+                    health.rolled_back()
+                    continue
+                if last is not None:
+                    # Abort returns the last healthy snapshot, not the
+                    # poisoned iterate.
+                    x = np.array(last.arrays["x"], dtype=np.float64)
+                    result.x = x
+                    result.iterations = last.iteration
+                    result.residual_norms = list(last.residual_norms)
+                    result.solution_norms = list(last.solution_norms)
+                incident = health.last_incident
+                result.stop_reason = (
+                    f"numerical health abort: {incident.detail}"
+                    if incident is not None
+                    else "numerical health abort"
+                )
+                break
             if callback is not None:
                 callback(it + 1, x)
 
     result.x = x
-    result.stop_reason = "iteration budget exhausted"
+    if not result.stop_reason:
+        result.stop_reason = "iteration budget exhausted"
     return result
