@@ -18,7 +18,7 @@ Public API highlights:
   cache simulator behind the performance studies.
 """
 
-from . import cache, cachesim, cli, core, dist, geometry, io, machine, measurement, obs, ordering, persist, phantoms, resilience, solvers, sparse, trace, utils
+from . import cache, cachesim, cli, core, dist, geometry, io, machine, measurement, obs, ordering, persist, phantoms, pipeline, resilience, solvers, sparse, trace, utils
 from .core import (
     CompXCTOperator,
     DatasetSpec,
@@ -44,6 +44,7 @@ __all__ = [
     "measurement",
     "ordering",
     "phantoms",
+    "pipeline",
     "solvers",
     "sparse",
     "trace",

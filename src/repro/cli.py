@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the beamline workflow:
+Seven subcommands cover the beamline workflow:
 
 * ``info``        — list datasets (Table 3) and machine models (Table 2);
 * ``preprocess``  — memoize a scan geometry into an operator file;
 * ``reconstruct`` — reconstruct a sinogram (from a .npz file or a
   synthetic demo dataset) with a chosen solver;
+* ``pipeline``    — streaming multi-slice stack reconstruction:
+  conditioning stages + batched multi-RHS solves + per-chunk
+  checkpointing (see ``docs/pipeline.md``);
 * ``bench``       — quick kernel timing of the three optimization
   levels on a scaled dataset;
 * ``scale``       — print a modeled weak/strong scaling curve
@@ -182,6 +185,100 @@ def _print_resilience_summary(result) -> None:
     path = result.extra.get("checkpoint_path")
     if path:
         print(f"checkpoint written to {path}")
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from .pipeline import reconstruct_stack
+
+    darks = flats = None
+    geometry = operator = None
+    demo = None
+    if args.demo:
+        from .pipeline import demo_stack
+
+        demo = demo_stack(
+            size=args.size,
+            num_slices=args.slices,
+            num_angles=args.angles,
+            center_shift=args.shift,
+            rings=args.rings,
+            poisson=not args.no_noise,
+            seed=args.seed,
+            cache=args.cache,
+        )
+        raw = demo.raw
+        darks, flats = demo.darks, demo.flats
+        geometry, operator = demo.geometry, demo.operator
+        _print_cache_status(demo.preprocess_report)
+    else:
+        if not args.input:
+            print("error: provide --input FILE or --demo", file=sys.stderr)
+            return 2
+        with np.load(args.input) as data:
+            raw = data["stack"]
+            darks = data["darks"] if "darks" in data else None
+            flats = data["flats"] if "flats" in data else None
+
+    result = reconstruct_stack(
+        raw,
+        geometry,
+        darks=darks,
+        flats=flats,
+        solver=args.solver,
+        iterations=args.iterations,
+        tolerance=args.tolerance,
+        batch=not args.no_batch,
+        chunk_slices=args.chunk_slices,
+        memory_budget_bytes=(
+            int(args.memory_budget_mb * 1e6)
+            if args.memory_budget_mb is not None
+            else None
+        ),
+        operator=operator,
+        cache=args.cache,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        max_chunks=args.max_chunks,
+    )
+    if operator is None:
+        _print_cache_status(result.preprocess_report)
+
+    done = result.num_slices - result.extra.get("remaining_slices", 0)
+    mode = "looped single-slice" if args.no_batch else "batched multi-RHS"
+    print(
+        f"{args.solver} over {done}/{result.num_slices} slices in "
+        f"{len(result.chunks)} chunks ({mode}); solve "
+        f"{format_seconds(result.solve_seconds)}, total "
+        f"{format_seconds(result.total_seconds)}"
+    )
+    if result.extra.get("resumed_slices"):
+        print(f"resumed: {result.extra['resumed_slices']} slices from checkpoint")
+    if "center_shift" in result.extra:
+        line = f"rotation-center shift found: {result.extra['center_shift']:+.3f} channels"
+        if demo is not None:
+            line += f" (injected {demo.center_shift:+.3f})"
+        print(line)
+    if demo is not None and not result.extra.get("stopped_early"):
+        truth = demo.attenuation_scale * demo.truth
+        print(f"PSNR vs truth: {psnr(result.volume, truth):.2f} dB")
+    if result.extra.get("stopped_early"):
+        print(
+            f"stopped after --max-chunks {args.max_chunks}; "
+            f"{result.extra['remaining_slices']} slices remain "
+            "(re-run with --resume to finish)"
+        )
+    path = result.extra.get("checkpoint_path")
+    if path:
+        print(f"checkpoint written to {path}")
+    if args.metrics:
+        rows = [
+            [name, format_seconds(seconds)]
+            for name, seconds in result.extra["stage_times"].items()
+        ]
+        print(render_table(["Stage", "Wall time"], rows, title="Per-stage wall time"))
+    np.savez(args.output, volume=result.volume)
+    print(f"saved volume to {args.output}")
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -405,6 +502,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "pipeline",
+        help="streaming multi-slice stack reconstruction (docs/pipeline.md)",
+        parents=[obs_flags, cache_flags],
+    )
+    p.add_argument("action", choices=("run",))
+    p.add_argument(
+        "--input",
+        help=".npz with a 'stack' array (slices, angles, channels) and "
+        "optional 'darks'/'flats' calibration frames",
+    )
+    p.add_argument(
+        "--demo", action="store_true",
+        help="synthesize a raw demo stack (Shepp-Logan volume + darks/flats)",
+    )
+    p.add_argument("--slices", type=int, default=8, help="demo stack height")
+    p.add_argument("--size", type=int, default=64, help="demo image size N (N x N)")
+    p.add_argument("--angles", type=int, default=None, help="demo projection count")
+    p.add_argument(
+        "--shift", type=float, default=0.0,
+        help="inject a rotation-center shift of this many channels (demo)",
+    )
+    p.add_argument(
+        "--rings", action="store_true",
+        help="inject per-channel detector gain errors (demo)",
+    )
+    p.add_argument("--no-noise", action="store_true", help="disable Poisson noise (demo)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--solver", default="cg", choices=("cg", "sirt", "mlem"))
+    p.add_argument("--iterations", type=int, default=30)
+    p.add_argument(
+        "--tolerance", type=float, default=0.0,
+        help="per-slice early-stop tolerance (0 runs the full budget)",
+    )
+    p.add_argument(
+        "--no-batch", action="store_true",
+        help="loop single-slice solves instead of the multi-RHS kernels",
+    )
+    p.add_argument(
+        "--chunk-slices", type=int, default=None,
+        help="slices per streamed chunk (default: whole stack)",
+    )
+    p.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="derive the chunk size from a working-set budget instead",
+    )
+    p.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="checkpoint the accumulated volume after every chunk",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint, skipping completed chunks (bit-exact)",
+    )
+    p.add_argument(
+        "--max-chunks", type=int, default=None,
+        help="stop cleanly after N chunks this run (kill/resume testing)",
+    )
+    p.add_argument("--output", "-o", default="volume.npz")
+
+    p = sub.add_parser(
         "bench", help="time the three kernel levels", parents=[obs_flags, cache_flags]
     )
     p.add_argument("--dataset", default="ADS2", choices=sorted(DATASETS))
@@ -460,6 +617,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "preprocess": _cmd_preprocess,
         "reconstruct": _cmd_reconstruct,
+        "pipeline": _cmd_pipeline,
         "bench": _cmd_bench,
         "scale": _cmd_scale,
         "cache": _cmd_cache,

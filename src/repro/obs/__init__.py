@@ -50,6 +50,9 @@ from .counters import (
     FAULT_RETRIES,
     HEALTH_EVENTS,
     HEALTH_ROLLBACKS,
+    PIPELINE_CHUNKS,
+    PIPELINE_RESUMED_SLICES,
+    PIPELINE_SLICES,
     SOLVER_ITERATIONS,
     SPMV_CALLS,
     SPMV_FLOPS,
@@ -82,6 +85,9 @@ __all__ = [
     "FAULT_RETRIES",
     "HEALTH_EVENTS",
     "HEALTH_ROLLBACKS",
+    "PIPELINE_CHUNKS",
+    "PIPELINE_RESUMED_SLICES",
+    "PIPELINE_SLICES",
     "SOLVER_ITERATIONS",
     "SPMV_CALLS",
     "SPMV_FLOPS",

@@ -42,6 +42,9 @@ __all__ = [
     "CHECKPOINT_BYTES_WRITTEN",
     "HEALTH_EVENTS",
     "HEALTH_ROLLBACKS",
+    "PIPELINE_SLICES",
+    "PIPELINE_CHUNKS",
+    "PIPELINE_RESUMED_SLICES",
 ]
 
 #: FMA work of every SpMV executed (2 flops per stored nonzero).
@@ -92,6 +95,12 @@ CHECKPOINT_BYTES_WRITTEN = "checkpoint.bytes_written"
 HEALTH_EVENTS = "health.events"
 #: Health-triggered rollbacks to the last checkpoint.
 HEALTH_ROLLBACKS = "health.rollbacks"
+#: Sinogram slices reconstructed by the streaming stack pipeline.
+PIPELINE_SLICES = "pipeline.slices"
+#: Slice chunks processed by the streaming stack pipeline.
+PIPELINE_CHUNKS = "pipeline.chunks"
+#: Slices skipped on resume because a chunk checkpoint covered them.
+PIPELINE_RESUMED_SLICES = "pipeline.resumed_slices"
 
 #: Default unit per canonical counter name.
 CANONICAL_UNITS = {
@@ -119,6 +128,9 @@ CANONICAL_UNITS = {
     CHECKPOINT_BYTES_WRITTEN: "byte",
     HEALTH_EVENTS: "event",
     HEALTH_ROLLBACKS: "rollback",
+    PIPELINE_SLICES: "slice",
+    PIPELINE_CHUNKS: "chunk",
+    PIPELINE_RESUMED_SLICES: "slice",
 }
 
 

@@ -7,6 +7,14 @@ from .base import (
     observe_health,
     resolve_resume,
 )
+from .batched import (
+    BatchSolveResult,
+    adjoint_batch,
+    cgls_batch,
+    forward_batch,
+    mlem_batch,
+    sirt_batch,
+)
 from .cg import cgls
 from .fbp import fbp, ramp_filter
 from .icd import icd
@@ -20,7 +28,13 @@ __all__ = [
     "MatrixOperator",
     "ProjectionOperator",
     "SolveResult",
+    "BatchSolveResult",
     "cgls",
+    "cgls_batch",
+    "sirt_batch",
+    "mlem_batch",
+    "forward_batch",
+    "adjoint_batch",
     "fbp",
     "ramp_filter",
     "icd",

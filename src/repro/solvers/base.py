@@ -145,6 +145,14 @@ class MatrixOperator:
     def adjoint(self, y: np.ndarray) -> np.ndarray:
         return self.transpose.spmv(np.asarray(y, dtype=np.float32))
 
+    def forward_batch(self, x: np.ndarray) -> np.ndarray:
+        """Multi-RHS forward: ``Y = A X`` for an ``(num_pixels, S)`` slab."""
+        return self.matrix.spmv_batch(np.asarray(x, dtype=np.float32))
+
+    def adjoint_batch(self, y: np.ndarray) -> np.ndarray:
+        """Multi-RHS adjoint: ``X = A^T Y`` for an ``(num_rays, S)`` slab."""
+        return self.transpose.spmv_batch(np.asarray(y, dtype=np.float32))
+
     def row_sums(self) -> np.ndarray:
         return self.matrix.row_sums()
 

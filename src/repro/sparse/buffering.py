@@ -144,6 +144,37 @@ class BufferedMatrix:
             y[row0:row1] += output[: row1 - row0]
         return y
 
+    def _vector_plan(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Index arrays shared by the vectorized kernels, built lazily.
+
+        Returns ``(global_ind, keep, rows_kept)``: the buffer-global
+        index of each nonzero, the mask of real (non-padding) row
+        slots, and the output row of each kept slot.  Cached on the
+        instance — the batched kernel amortizes this across all RHS
+        columns of every call.
+        """
+        plan = getattr(self, "_plan", None)
+        if plan is None:
+            partsize = self.partitions.partition_size
+            num_stages = self.num_stages
+            stage_of_slot = np.repeat(np.arange(num_stages, dtype=np.int64), partsize)
+            slot_nnz = np.diff(self.displ)
+            stage_of_nnz = np.repeat(stage_of_slot, slot_nnz)
+            global_ind = self.stagedispl[stage_of_nnz] + self.ind
+            # Row j of partition p accumulates its slot in every stage.
+            part_of_stage = np.repeat(
+                np.arange(self.partitions.num_partitions, dtype=np.int64),
+                np.diff(self.partdispl),
+            )
+            rows_of_slot = (
+                part_of_stage.repeat(partsize) * partsize
+                + np.tile(np.arange(partsize, dtype=np.int64), num_stages)
+            )
+            keep = rows_of_slot < self.num_rows
+            plan = (global_ind, keep, rows_of_slot[keep])
+            self._plan = plan
+        return plan
+
     def spmv_vectorized(self, x: np.ndarray) -> np.ndarray:
         """Whole-array evaluation of the same staged dataflow.
 
@@ -157,26 +188,38 @@ class BufferedMatrix:
             raise ValueError(f"x has {x.shape[0]} entries, expected {self.num_cols}")
         staged = x[self.map]  # all stage buffers back to back
         # Global buffer-index of each nonzero: stage offset + local uint16.
-        partsize = self.partitions.partition_size
-        num_stages = self.num_stages
-        stage_of_slot = np.repeat(np.arange(num_stages, dtype=np.int64), partsize)
-        slot_nnz = np.diff(self.displ)
-        stage_of_nnz = np.repeat(stage_of_slot, slot_nnz)
-        global_ind = self.stagedispl[stage_of_nnz] + self.ind
+        global_ind, keep, rows_kept = self._vector_plan()
         prod = self.val * staged[global_ind]
-        slot_sums = csr_row_sums(prod, self.displ, num_stages * partsize)
-        # Row j of partition p accumulates its slot in every stage.
-        part_of_stage = np.repeat(
-            np.arange(self.partitions.num_partitions, dtype=np.int64),
-            np.diff(self.partdispl),
-        )
-        rows_of_slot = (
-            part_of_stage.repeat(partsize) * partsize
-            + np.tile(np.arange(partsize, dtype=np.int64), num_stages)
+        slot_sums = csr_row_sums(
+            prod, self.displ, self.num_stages * self.partitions.partition_size
         )
         y = np.zeros(self.num_rows, dtype=np.result_type(x.dtype, np.float32))
-        keep = rows_of_slot < self.num_rows
-        np.add.at(y, rows_of_slot[keep], slot_sums[keep])
+        np.add.at(y, rows_kept, slot_sums[keep])
+        return y
+
+    def spmv_batch(self, x: np.ndarray) -> np.ndarray:
+        """Staged multi-RHS SpMV for an ``(num_cols, S)`` slab.
+
+        The stage/index bookkeeping of :meth:`spmv_vectorized` is paid
+        once per call (and the index plan is cached across calls) while
+        the gathers and reductions run over all ``S`` columns at once.
+        Column ``j`` is bit-identical to ``spmv_vectorized(x[:, j])``.
+        """
+        x = np.asarray(x)
+        if x.ndim != 2:
+            raise ValueError(f"expected an (num_cols, S) slab, got shape {x.shape}")
+        if x.shape[0] != self.num_cols:
+            raise ValueError(f"x has {x.shape[0]} rows, expected {self.num_cols}")
+        staged = x[self.map]  # (map length, S) stage buffers back to back
+        global_ind, keep, rows_kept = self._vector_plan()
+        prod = self.val[:, None] * staged[global_ind]
+        slot_sums = csr_row_sums(
+            prod, self.displ, self.num_stages * self.partitions.partition_size
+        )
+        y = np.zeros(
+            (self.num_rows, x.shape[1]), dtype=np.result_type(x.dtype, np.float32)
+        )
+        np.add.at(y, rows_kept, slot_sums[keep])
         return y
 
 

@@ -26,8 +26,13 @@ def csr_row_sums(values: np.ndarray, displ: np.ndarray, num_rows: int) -> np.nda
     ``values`` holds the per-nonzero products, ``displ`` the row offsets
     (length ``num_rows + 1``).  Empty rows sum to zero; ``reduceat``
     alone would mis-handle them, so they are masked out explicitly.
+
+    ``values`` may also be an ``(nnz, S)`` slab — one column per
+    right-hand side — in which case the result is ``(num_rows, S)``;
+    each column is reduced in exactly the same order as the 1D case, so
+    the batched result is bit-identical per column.
     """
-    out = np.zeros(num_rows, dtype=values.dtype)
+    out = np.zeros((num_rows,) + values.shape[1:], dtype=values.dtype)
     if values.shape[0] == 0 or num_rows == 0:
         return out
     starts = displ[:-1]
@@ -111,6 +116,22 @@ class CSRMatrix:
         if x.shape[0] != self.num_cols:
             raise ValueError(f"x has {x.shape[0]} entries, expected {self.num_cols}")
         prod = self.val * x[self.ind]
+        return csr_row_sums(prod, self.displ, self.num_rows)
+
+    def spmv_batch(self, x: np.ndarray) -> np.ndarray:
+        """Multi-RHS SpMV: ``Y = A X`` for an ``(num_cols, S)`` slab.
+
+        One pass over the regular streams (``ind``/``val``) drives all
+        ``S`` right-hand sides; each irregular gather ``X[ind[j], :]``
+        pulls ``S`` contiguous elements, amortizing the random access.
+        Column ``j`` of the result is bit-identical to ``spmv(x[:, j])``.
+        """
+        x = np.asarray(x)
+        if x.ndim != 2:
+            raise ValueError(f"expected an (num_cols, S) slab, got shape {x.shape}")
+        if x.shape[0] != self.num_cols:
+            raise ValueError(f"x has {x.shape[0]} rows, expected {self.num_cols}")
+        prod = self.val[:, None] * x[self.ind]
         return csr_row_sums(prod, self.displ, self.num_rows)
 
     def row_sums(self) -> np.ndarray:

@@ -85,6 +85,31 @@ class ELLPartitioned:
             y[start:stop] = acc
         return y
 
+    def spmv_batch(self, x: np.ndarray) -> np.ndarray:
+        """Coalesced-style multi-RHS SpMV for an ``(num_cols, S)`` slab.
+
+        Each ELL column slot now updates an ``(rows, S)`` accumulator,
+        so the padded layout is streamed once for all ``S`` right-hand
+        sides.  Column ``j`` is bit-identical to ``spmv(x[:, j])``.
+        """
+        x = np.asarray(x)
+        if x.ndim != 2:
+            raise ValueError(f"expected an (num_cols, S) slab, got shape {x.shape}")
+        if x.shape[0] != self.num_cols:
+            raise ValueError(f"x has {x.shape[0]} rows, expected {self.num_cols}")
+        y = np.zeros(
+            (self.num_rows, x.shape[1]), dtype=np.result_type(x.dtype, np.float32)
+        )
+        for part in range(self.partitions.num_partitions):
+            start, stop = self.partitions.bounds(part)
+            ind = self.ind_slabs[part]
+            val = self.val_slabs[part]
+            acc = np.zeros((stop - start, x.shape[1]), dtype=y.dtype)
+            for w in range(ind.shape[0]):
+                acc += val[w][:, None] * x[ind[w]]
+            y[start:stop] = acc
+        return y
+
 
 def build_ell(matrix: CSRMatrix, partition_size: int) -> ELLPartitioned:
     """Convert a CSR matrix into partition-padded column-major ELL."""

@@ -1,0 +1,478 @@
+"""Tests for the streaming multi-slice pipeline.
+
+Covers the conditioning stages individually (dark/flat, negative log,
+ring suppression, center finding/correction), the stacked phantom
+generators that feed them, and the streaming executor's contracts:
+batched == looped volumes bitwise, chunking invariance, per-chunk
+checkpoint/resume bit-exactness, and fingerprint validation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import OperatorConfig, preprocess
+from repro.geometry import ParallelBeamGeometry
+from repro.phantoms import (
+    inject_center_shift,
+    inject_rings,
+    ring_gains,
+    simulate_counts,
+    stacked_shepp_logan,
+    synthetic_darks_flats,
+)
+from repro.pipeline import (
+    CenterCorrection,
+    DarkFlatNormalize,
+    NegativeLog,
+    RingSuppression,
+    StageContext,
+    chunk_slices_for_budget,
+    default_stages,
+    demo_stack,
+    find_center_shift,
+    reconstruct_stack,
+)
+from repro.resilience import CheckpointError
+
+
+@pytest.fixture(scope="module")
+def geo():
+    return ParallelBeamGeometry(48, 32)
+
+
+@pytest.fixture(scope="module")
+def operator(geo):
+    op, _ = preprocess(
+        geo, config=OperatorConfig(kernel="buffered", partition_size=32, buffer_bytes=4096)
+    )
+    return op
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return demo_stack(size=32, num_slices=6, num_angles=48, poisson=False)
+
+
+class TestStackPhantoms:
+    def test_stack_shape_and_variation(self):
+        stack = stacked_shepp_logan(24, 5)
+        assert stack.shape == (5, 24, 24)
+        # Slices vary along the stack but share gross structure: the
+        # shrunken end slice's support sits inside the middle slice's.
+        assert not np.array_equal(stack[0], stack[4])
+        end, mid = stack[0] != 0, stack[2] != 0
+        assert (end & mid).sum() / end.sum() > 0.9
+
+    def test_single_slice_stack(self):
+        assert stacked_shepp_logan(16, 1).shape == (1, 16, 16)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="num_slices"):
+            stacked_shepp_logan(16, 0)
+
+    def test_darks_flats_shapes(self):
+        darks, flats = synthetic_darks_flats(4, 20, num_frames=3)
+        assert darks.shape == (3, 4, 20)
+        assert flats.shape == (3, 4, 20)
+        assert (flats.mean(axis=0) > darks.mean(axis=0)).all()
+
+    def test_ring_gains_touch_only_bad_channels(self):
+        gains = ring_gains(30, num_bad=4, seed=1)
+        assert gains.shape == (30,)
+        assert (gains != 1.0).sum() <= 4
+
+    def test_inject_rings_validates_channels(self):
+        with pytest.raises(ValueError, match="channels"):
+            inject_rings(np.ones((2, 3, 10)), np.ones(9))
+
+    def test_center_shift_roundtrip(self):
+        rng = np.random.default_rng(0)
+        sino = rng.random((3, 20, 40))
+        shifted = inject_center_shift(sino, 2.0)
+        back = inject_center_shift(shifted, -2.0)
+        # Interior channels survive the round trip (edges clamp).
+        assert np.allclose(back[..., 4:-4], sino[..., 4:-4], atol=1e-12)
+
+    def test_simulate_counts_inverts_through_normalization(self):
+        """dark/flat + neg-log over simulated counts recovers the
+        scaled sinogram (noise-free)."""
+        sino = np.abs(np.random.default_rng(1).random((2, 12, 16)))
+        darks, flats = synthetic_darks_flats(2, 16, noise=0.0)
+        raw, scale = simulate_counts(sino, darks, flats, poisson=False)
+        ctx = StageContext()
+        ctx.info["slice_offset"] = 0
+        chunk = DarkFlatNormalize(darks, flats)(raw, ctx)
+        recovered = NegativeLog()(chunk, ctx)
+        assert np.allclose(recovered, scale * sino, atol=1e-10)
+
+
+class TestCenterFinding:
+    @pytest.mark.parametrize("true_shift", [-2.0, -0.75, 0.0, 1.25, 2.0])
+    def test_com_recovers_shift(self, demo, true_shift):
+        # Shifts stay a few channels inside the 32-channel detector;
+        # larger ones clamp at the edge and bias any estimator.
+        sino = inject_center_shift(demo.sinograms[2], true_shift)
+        found = find_center_shift(sino, demo.geometry.angles(), method="com")
+        assert abs(found - true_shift) <= 0.25
+
+    @pytest.mark.parametrize("true_shift", [-2.0, 0.0, 1.5])
+    def test_correlation_recovers_shift(self, demo, true_shift):
+        sino = inject_center_shift(demo.sinograms[2], true_shift)
+        found = find_center_shift(sino, method="correlation")
+        assert abs(found - true_shift) <= 0.75
+
+    def test_default_angles_match_geometry(self, demo):
+        sino = demo.sinograms[0]
+        assert find_center_shift(sino) == pytest.approx(
+            find_center_shift(sino, demo.geometry.angles())
+        )
+
+    def test_rejects_unknown_method(self, demo):
+        with pytest.raises(ValueError, match="method"):
+            find_center_shift(demo.sinograms[0], method="fft")
+
+    def test_rejects_empty_sinogram(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            find_center_shift(np.zeros((10, 16)))
+
+    def test_rejects_angle_mismatch(self, demo):
+        with pytest.raises(ValueError, match="angles"):
+            find_center_shift(demo.sinograms[0], np.zeros(3))
+
+
+class TestStages:
+    def test_dark_flat_rejects_inverted_calibration(self):
+        stage = DarkFlatNormalize(darks=np.full(8, 100.0), flats=np.full(8, 50.0))
+        with pytest.raises(ValueError, match="flat-field"):
+            stage(np.ones((1, 4, 8)), StageContext())
+
+    def test_neg_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            NegativeLog()(np.zeros((1, 2, 4)), StageContext())
+
+    def test_stage_rejects_2d_input(self):
+        with pytest.raises(ValueError, match="chunk"):
+            NegativeLog()(np.ones((4, 8)), StageContext())
+
+    def test_ring_suppression_removes_stripes(self, demo):
+        clean = demo.sinograms[:1]
+        stripe = np.zeros(clean.shape[-1])
+        stripe[10] = 0.4
+        striped = clean + stripe[None, None, :]
+        out = RingSuppression(window=5)(striped, StageContext())
+        # The stripe residual is mostly gone; clean columns untouched-ish.
+        residual = np.abs(out - clean).mean()
+        assert residual < 0.1 * 0.4
+
+    def test_ring_suppression_window_validation(self):
+        with pytest.raises(ValueError, match="odd"):
+            RingSuppression(window=4)
+        with pytest.raises(ValueError, match="odd"):
+            RingSuppression(window=1)
+
+    def test_center_correction_undoes_shift(self, demo):
+        shifted = inject_center_shift(demo.sinograms, 2.0)
+        ctx = StageContext(angles=demo.geometry.angles())
+        out = CenterCorrection()(shifted, ctx)
+        assert abs(ctx.info["center_shift"] - 2.0) <= 0.2
+        interior = (slice(None), slice(None), slice(6, -6))
+        assert np.abs(out[interior] - demo.sinograms[interior]).mean() < 0.05
+
+    def test_center_correction_estimate_reused_across_chunks(self, demo):
+        ctx = StageContext(angles=demo.geometry.angles())
+        stage = CenterCorrection()
+        stage(inject_center_shift(demo.sinograms[:2], 1.5), ctx)
+        first = ctx.info["center_shift"]
+        # Second chunk must reuse, not re-estimate (different slices
+        # would give a slightly different value).
+        stage(inject_center_shift(demo.sinograms[2:], 1.5), ctx)
+        assert ctx.info["center_shift"] == first
+
+    def test_explicit_shift_skips_estimation(self, demo):
+        ctx = StageContext()
+        CenterCorrection(shift=1.0)(demo.sinograms[:1], ctx)
+        assert ctx.info["center_shift"] == 1.0
+
+    def test_stage_times_accumulate(self, demo):
+        ctx = StageContext()
+        stage = NegativeLog()
+        stage(np.full((1, 4, 8), 0.5), ctx)
+        once = ctx.stage_times["neg_log"]
+        stage(np.full((1, 4, 8), 0.5), ctx)
+        assert ctx.stage_times["neg_log"] > once
+
+    def test_default_stages_composition(self):
+        darks, flats = synthetic_darks_flats(2, 16)
+        names = [s.name for s in default_stages(darks, flats)]
+        assert names == ["dark_flat", "neg_log", "ring_suppress", "center"]
+        assert [s.name for s in default_stages()] == ["ring_suppress", "center"]
+        assert default_stages(ring_window=None, center_method=None) == []
+        with pytest.raises(ValueError, match="both"):
+            default_stages(darks=darks)
+
+
+class TestExecutor:
+    def test_end_to_end_demo(self, demo):
+        result = reconstruct_stack(
+            demo.raw,
+            demo.geometry,
+            darks=demo.darks,
+            flats=demo.flats,
+            solver="cg",
+            iterations=15,
+            operator=demo.operator,
+        )
+        assert result.volume.shape == (6, 32, 32)
+        truth = demo.attenuation_scale * demo.truth
+        for k in range(6):
+            corr = np.corrcoef(result.volume[k].ravel(), truth[k].ravel())[0, 1]
+            assert corr > 0.9
+
+    def test_batched_equals_looped(self, demo):
+        kwargs = dict(
+            darks=demo.darks,
+            flats=demo.flats,
+            solver="cg",
+            iterations=6,
+            chunk_slices=2,
+            operator=demo.operator,
+        )
+        batched = reconstruct_stack(demo.raw, demo.geometry, batch=True, **kwargs)
+        looped = reconstruct_stack(demo.raw, demo.geometry, batch=False, **kwargs)
+        assert np.array_equal(batched.volume, looped.volume)
+
+    @pytest.mark.parametrize("solver", ["sirt", "mlem"])
+    def test_batched_equals_looped_other_solvers(self, demo, solver):
+        kwargs = dict(
+            darks=demo.darks,
+            flats=demo.flats,
+            solver=solver,
+            iterations=4,
+            operator=demo.operator,
+        )
+        batched = reconstruct_stack(demo.raw, demo.geometry, batch=True, **kwargs)
+        looped = reconstruct_stack(demo.raw, demo.geometry, batch=False, **kwargs)
+        assert np.array_equal(batched.volume, looped.volume)
+
+    def test_chunking_invariance(self, demo):
+        """Without cross-chunk stages, the volume must not depend on
+        the chunk size (per-column solves are independent)."""
+        kwargs = dict(
+            stages=[],
+            solver="cg",
+            iterations=6,
+            operator=demo.operator,
+        )
+        whole = reconstruct_stack(demo.sinograms, demo.geometry, **kwargs)
+        chunked = reconstruct_stack(
+            demo.sinograms, demo.geometry, chunk_slices=2, **kwargs
+        )
+        uneven = reconstruct_stack(
+            demo.sinograms, demo.geometry, chunk_slices=4, **kwargs
+        )
+        assert np.array_equal(whole.volume, chunked.volume)
+        assert np.array_equal(whole.volume, uneven.volume)
+
+    def test_stage_times_in_extra(self, demo):
+        result = reconstruct_stack(
+            demo.raw,
+            demo.geometry,
+            darks=demo.darks,
+            flats=demo.flats,
+            iterations=2,
+            operator=demo.operator,
+        )
+        times = result.extra["stage_times"]
+        assert set(times) == {"dark_flat", "neg_log", "ring_suppress", "center", "solve"}
+        assert all(v >= 0 for v in times.values())
+        assert times["solve"] == result.solve_seconds
+
+    def test_pipeline_counters(self, demo):
+        with obs.capture() as cap:
+            reconstruct_stack(
+                demo.sinograms,
+                demo.geometry,
+                stages=[],
+                iterations=2,
+                chunk_slices=2,
+                operator=demo.operator,
+            )
+        assert cap.total(obs.PIPELINE_SLICES) == 6
+        assert cap.total(obs.PIPELINE_CHUNKS) == 3
+        assert cap.find_spans("pipeline.run")
+        assert len(cap.find_spans("pipeline.chunk")) == 3
+
+    def test_memory_budget_chunking(self, demo):
+        per_slice = 8 * (4 * demo.operator.num_rays + 4 * demo.operator.num_pixels)
+        result = reconstruct_stack(
+            demo.sinograms,
+            demo.geometry,
+            stages=[],
+            iterations=1,
+            memory_budget_bytes=3 * per_slice,
+            operator=demo.operator,
+        )
+        assert len(result.chunks) == 2
+        assert result.chunks[0]["stop"] - result.chunks[0]["start"] == 3
+
+    def test_budget_floor_is_one_slice(self):
+        assert chunk_slices_for_budget(1, 1000, 1000, 8) == 1
+        assert chunk_slices_for_budget(10**12, 1000, 1000, 8) == 8
+        with pytest.raises(ValueError, match="budget"):
+            chunk_slices_for_budget(0, 1000, 1000, 8)
+
+    def test_rejects_both_chunking_knobs(self, demo):
+        with pytest.raises(ValueError, match="not both"):
+            reconstruct_stack(
+                demo.sinograms,
+                demo.geometry,
+                chunk_slices=2,
+                memory_budget_bytes=1 << 20,
+                operator=demo.operator,
+            )
+
+    def test_rejects_bad_inputs(self, demo):
+        with pytest.raises(ValueError, match="slices, angles, channels"):
+            reconstruct_stack(demo.sinograms[0], demo.geometry)
+        with pytest.raises(ValueError, match="solver"):
+            reconstruct_stack(demo.sinograms, demo.geometry, solver="fbp")
+        with pytest.raises(ValueError, match="checkpoint"):
+            reconstruct_stack(demo.sinograms, demo.geometry, resume=True)
+
+
+class TestCheckpointResume:
+    def _run(self, demo, tmp_path, **kwargs):
+        return reconstruct_stack(
+            demo.sinograms,
+            demo.geometry,
+            stages=[],
+            solver="cg",
+            iterations=5,
+            chunk_slices=2,
+            operator=demo.operator,
+            **kwargs,
+        )
+
+    def test_kill_and_resume_is_bit_exact(self, demo, tmp_path):
+        path = tmp_path / "stack.npz"
+        partial = self._run(demo, tmp_path, checkpoint=path, max_chunks=2)
+        assert partial.extra["stopped_early"]
+        assert partial.extra["remaining_slices"] == 2
+        resumed = self._run(demo, tmp_path, checkpoint=path, resume=True)
+        assert resumed.extra["resumed_slices"] == 4
+        assert len(resumed.chunks) == 1  # only the remaining chunk ran
+        full = self._run(demo, tmp_path)
+        assert np.array_equal(resumed.volume, full.volume)
+
+    def test_resume_restores_center_estimate(self, tmp_path):
+        """The center found before the kill is reused after resume —
+        estimating on a different chunk would change the volume."""
+        d = demo_stack(size=32, num_slices=4, num_angles=48, center_shift=1.2, poisson=False)
+        path = tmp_path / "c.npz"
+        kwargs = dict(
+            darks=d.darks,
+            flats=d.flats,
+            solver="cg",
+            iterations=4,
+            chunk_slices=1,
+            operator=d.operator,
+        )
+        self._noop = reconstruct_stack(
+            d.raw, d.geometry, checkpoint=path, max_chunks=1, **kwargs
+        )
+        resumed = reconstruct_stack(
+            d.raw, d.geometry, checkpoint=path, resume=True, **kwargs
+        )
+        full = reconstruct_stack(d.raw, d.geometry, **kwargs)
+        assert resumed.extra["center_shift"] == full.extra["center_shift"]
+        assert np.array_equal(resumed.volume, full.volume)
+
+    def test_fingerprint_mismatch_rejected(self, demo, tmp_path):
+        path = tmp_path / "fp.npz"
+        self._run(demo, tmp_path, checkpoint=path, max_chunks=1)
+        other = demo.sinograms + 1e-3
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            reconstruct_stack(
+                other,
+                demo.geometry,
+                stages=[],
+                solver="cg",
+                iterations=5,
+                chunk_slices=2,
+                operator=demo.operator,
+                checkpoint=path,
+                resume=True,
+            )
+
+    def test_solver_change_rejected(self, demo, tmp_path):
+        path = tmp_path / "sv.npz"
+        self._run(demo, tmp_path, checkpoint=path, max_chunks=1)
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            reconstruct_stack(
+                demo.sinograms,
+                demo.geometry,
+                stages=[],
+                solver="sirt",
+                iterations=5,
+                chunk_slices=2,
+                operator=demo.operator,
+                checkpoint=path,
+                resume=True,
+            )
+
+    def test_missing_checkpoint_rejected(self, demo, tmp_path):
+        with pytest.raises(CheckpointError):
+            self._run(demo, tmp_path, checkpoint=tmp_path / "absent.npz", resume=True)
+
+    def test_non_pipeline_checkpoint_rejected(self, demo, tmp_path):
+        from repro.resilience import CheckpointManager, SolverCheckpoint
+
+        path = tmp_path / "cg.npz"
+        CheckpointManager(path).save(
+            SolverCheckpoint(solver="cg", iteration=3, arrays={"x": np.zeros(4)})
+        )
+        with pytest.raises(CheckpointError, match="pipeline"):
+            self._run(demo, tmp_path, checkpoint=path, resume=True)
+
+
+class TestPipelineCLI:
+    def test_demo_run(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "pipeline", "run", "--demo", "--slices", "4", "--size", "32",
+                "--iterations", "4", "--cache", "off", "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4/4 slices" in out
+        assert "Per-stage wall time" in out
+        assert "solve" in out
+        assert (tmp_path / "volume.npz").exists()
+        volume = np.load(tmp_path / "volume.npz")["volume"]
+        assert volume.shape == (4, 32, 32)
+
+    def test_input_file_run(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        rng = np.random.default_rng(0)
+        np.savez(tmp_path / "in.npz", stack=np.abs(rng.random((3, 32, 24))))
+        code = main(
+            [
+                "pipeline", "run", "--input", str(tmp_path / "in.npz"),
+                "--iterations", "3", "--cache", "off",
+            ]
+        )
+        assert code == 0
+        assert "3/3 slices" in capsys.readouterr().out
+
+    def test_missing_input_errors(self, capsys):
+        from repro.cli import main
+
+        assert main(["pipeline", "run", "--cache", "off"]) == 2
+        assert "provide --input" in capsys.readouterr().err
