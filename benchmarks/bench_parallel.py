@@ -1,0 +1,148 @@
+"""Shared-memory parallel backend acceptance — speedup curve + bit-identity.
+
+The paper's intra-node scaling story (Fig. 9's OpenMP threads over
+Hilbert-ordered partition ranges) rendered on the reproduction's
+backend: the same reconstruction is run serially and with 2 and 4
+workers in both thread and process modes, and the cold preprocessing
+(per-angle Siddon tracing) is run serially and fanned out.
+
+Acceptance (speedups are only asserted when the host actually has the
+cores — a single-core container can execute the decomposition but not
+exhibit it; CI runners enforce the floors):
+
+* every parallel volume is **bit-identical** to the serial volume —
+  asserted unconditionally, on any machine;
+* with >= 2 cores: best 2-worker reconstruct speedup > 1.3x;
+* with >= 4 cores: best 4-worker reconstruct speedup >= 2.0x and cold
+  preprocess (tracing) speedup >= 1.5x at 4 workers.
+
+``REPRO_BENCH_PARALLEL_SIZE`` scales the demo (default 256; set 512
+for the paper-scale run — tracing grows ~cubically, so budget minutes).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import OperatorConfig, preprocess, reconstruct
+from repro.geometry import ParallelBeamGeometry
+from repro.phantoms import shepp_logan
+
+SIZE = int(os.environ.get("REPRO_BENCH_PARALLEL_SIZE", "256"))
+ITERATIONS = 20
+MIN_SPEEDUP_2 = 1.3
+MIN_SPEEDUP_4 = 2.0
+MIN_PREPROCESS_SPEEDUP_4 = 1.5
+
+
+def _config(workers=None) -> OperatorConfig:
+    return OperatorConfig(
+        kernel="buffered", partition_size=128, buffer_bytes=8192, workers=workers
+    )
+
+
+def test_parallel_speedup_curve(report):
+    cores = os.cpu_count() or 1
+    geometry = ParallelBeamGeometry(SIZE, SIZE)
+
+    # -- cold preprocess: serial vs 4-worker tracing fan-out ------------
+    t0 = time.perf_counter()
+    operator, serial_report = preprocess(geometry, config=_config())
+    preprocess_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    op_parallel, parallel_report = preprocess(geometry, config=_config(workers=4))
+    preprocess_parallel = time.perf_counter() - t0
+    matrices_equal = (
+        np.array_equal(op_parallel.matrix.displ, operator.matrix.displ)
+        and np.array_equal(op_parallel.matrix.ind, operator.matrix.ind)
+        and np.array_equal(op_parallel.matrix.val, operator.matrix.val)
+    )
+    op_parallel.close()
+    preprocess_speedup = preprocess_serial / preprocess_parallel
+    tracing_speedup = (
+        serial_report.tracing_seconds / parallel_report.tracing_seconds
+    )
+
+    # -- reconstruction: serial vs 2/4 workers, thread and process ------
+    sinogram = operator.project_image(shepp_logan(SIZE))
+
+    def solve(workers=None):
+        result = reconstruct(
+            sinogram,
+            geometry,
+            solver="cg",
+            iterations=ITERATIONS,
+            operator=operator,
+            workers=workers,
+        )
+        operator.set_workers(None)
+        return result
+
+    solve()  # warm caches (vector plans, allocator) outside timing
+    reference = solve()
+    timings = {"serial": reference.solve_seconds}
+    best = {2: 0.0, 4: 0.0}
+    for count in (2, 4):
+        for mode in ("thread", "process"):
+            result = solve(workers=f"{mode}:{count}")
+            assert np.array_equal(result.image, reference.image), (
+                f"{mode}:{count} volume differs from serial"
+            )
+            timings[f"{mode}:{count}"] = result.solve_seconds
+            best[count] = max(
+                best[count], reference.solve_seconds / result.solve_seconds
+            )
+
+    lines = [
+        f"parallel backend, {SIZE}x{SIZE} buffered kernel, CG x{ITERATIONS}, "
+        f"{cores} core(s)",
+        f"  preprocess cold         : {preprocess_serial:8.3f} s serial vs "
+        f"{preprocess_parallel:.3f} s at 4 workers "
+        f"({preprocess_speedup:.2f}x; tracing {tracing_speedup:.2f}x)",
+    ]
+    for label, seconds in timings.items():
+        speed = timings["serial"] / seconds
+        lines.append(
+            f"  solve {label:<17} : {seconds:8.3f} s ({speed:5.2f}x)"
+        )
+    lines += [
+        f"  best speedup @2 workers : {best[2]:8.2f}x (floor {MIN_SPEEDUP_2}x, "
+        f"enforced with >= 2 cores)",
+        f"  best speedup @4 workers : {best[4]:8.2f}x (floor {MIN_SPEEDUP_4}x, "
+        f"enforced with >= 4 cores)",
+        f"  volumes bit-identical   : True",
+        f"  traced matrices equal   : {matrices_equal}",
+    ]
+    report(
+        "parallel_speedup",
+        "\n".join(lines),
+        extra={
+            "size": SIZE,
+            "iterations": ITERATIONS,
+            "cores": cores,
+            "preprocess_serial_seconds": preprocess_serial,
+            "preprocess_parallel_seconds": preprocess_parallel,
+            "preprocess_speedup": preprocess_speedup,
+            "tracing_speedup": tracing_speedup,
+            "solve_seconds": timings,
+            "best_speedup_2": best[2],
+            "best_speedup_4": best[4],
+            "min_speedup_2": MIN_SPEEDUP_2,
+            "min_speedup_4": MIN_SPEEDUP_4,
+        },
+    )
+
+    assert matrices_equal, "parallel tracing changed the matrix"
+    if cores >= 2:
+        assert best[2] > MIN_SPEEDUP_2, (
+            f"2-worker speedup {best[2]:.2f}x below {MIN_SPEEDUP_2}x floor"
+        )
+    if cores >= 4:
+        assert best[4] >= MIN_SPEEDUP_4, (
+            f"4-worker speedup {best[4]:.2f}x below {MIN_SPEEDUP_4}x floor"
+        )
+        assert tracing_speedup >= MIN_PREPROCESS_SPEEDUP_4, (
+            f"tracing speedup {tracing_speedup:.2f}x below "
+            f"{MIN_PREPROCESS_SPEEDUP_4}x floor"
+        )

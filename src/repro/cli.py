@@ -100,6 +100,7 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
         kernel=args.kernel,
         partition_size=args.partition_size,
         buffer_bytes=args.buffer_kb * 1024,
+        workers=args.workers,
     )
     t0 = time.perf_counter()
     operator, report = preprocess(
@@ -151,6 +152,7 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
         health=args.health or None,
+        workers=args.workers,
     )
     line = (
         f"{args.solver} x{result.solve.iterations} iterations in "
@@ -239,6 +241,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         resume=args.resume,
         max_chunks=args.max_chunks,
+        workers=args.workers,
     )
     if operator is None:
         _print_cache_status(result.preprocess_report)
@@ -317,6 +320,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ["pseudo-Hilbert CSR", format_seconds(best_of(ordered.spmv))],
         ["multi-stage buffered", format_seconds(best_of(buffered.spmv_vectorized))],
     ]
+    if args.workers:
+        buf_op.set_workers(args.workers)
+        rows.append(
+            [
+                f"buffered, workers={args.workers}",
+                format_seconds(best_of(buf_op.forward)),
+            ]
+        )
+        buf_op.close()
     print(render_table(["kernel", "best of 5"], rows,
                        title=f"forward projection, nnz = {raw.nnz:,}"))
     return 0
@@ -446,12 +458,25 @@ def build_parser() -> argparse.ArgumentParser:
         "~/.cache/repro/plans), 'off', or an explicit directory",
     )
 
+    workers_flags = argparse.ArgumentParser(add_help=False)
+    workers_flags.add_argument(
+        "--workers",
+        default=None,
+        metavar="N|MODE|MODE:N",
+        help="parallel execution backend: a worker count (threads), "
+        "'thread'/'process'/'auto' (one worker per CPU), or 'mode:count' "
+        "like 'process:4'; default serial (or REPRO_WORKERS). "
+        "Results are bit-identical across worker counts (docs/parallel.md)",
+    )
+
     sub.add_parser(
         "info", help="list datasets and machine models", parents=[obs_flags]
     )
 
     p = sub.add_parser(
-        "preprocess", help="memoize a scan geometry", parents=[obs_flags, cache_flags]
+        "preprocess",
+        help="memoize a scan geometry",
+        parents=[obs_flags, cache_flags, workers_flags],
     )
     p.add_argument("--angles", type=int, required=True)
     p.add_argument("--channels", type=int, required=True)
@@ -462,7 +487,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", default="operator.npz")
 
     p = sub.add_parser(
-        "reconstruct", help="reconstruct a sinogram", parents=[obs_flags, cache_flags]
+        "reconstruct",
+        help="reconstruct a sinogram",
+        parents=[obs_flags, cache_flags, workers_flags],
     )
     p.add_argument("--sinogram", help=".npz file with a 'sinogram' array")
     p.add_argument("--demo", choices=sorted(DATASETS), help="synthesize a demo dataset")
@@ -504,7 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "pipeline",
         help="streaming multi-slice stack reconstruction (docs/pipeline.md)",
-        parents=[obs_flags, cache_flags],
+        parents=[obs_flags, cache_flags, workers_flags],
     )
     p.add_argument("action", choices=("run",))
     p.add_argument(
@@ -562,7 +589,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", default="volume.npz")
 
     p = sub.add_parser(
-        "bench", help="time the three kernel levels", parents=[obs_flags, cache_flags]
+        "bench",
+        help="time the three kernel levels",
+        parents=[obs_flags, cache_flags, workers_flags],
     )
     p.add_argument("--dataset", default="ADS2", choices=sorted(DATASETS))
     p.add_argument("--scale", type=float, default=0.25)

@@ -14,7 +14,8 @@ to and from row-major 2D arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import contextlib
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -30,6 +31,7 @@ from ..obs import (
     span,
 )
 from ..ordering import DomainOrdering
+from ..parallel.backend import parse_workers
 from ..sparse import (
     BufferedMatrix,
     CSRMatrix,
@@ -56,11 +58,19 @@ class OperatorConfig:
         Rows per partition; the paper's tuned KNL value is 128.
     buffer_bytes:
         Input-buffer capacity for the buffered kernel (<= 256 KB).
+    workers:
+        Parallel-execution spec: a count (``4``), a mode
+        (``"thread"``/``"process"``/``"serial"``/``"auto"``) or
+        ``"mode:count"``; ``None`` defers to the ``REPRO_WORKERS``
+        environment variable.  Purely an execution knob — it never
+        changes numerics, and it is excluded from plan-cache
+        fingerprints and persisted operators.
     """
 
     kernel: str = "buffered"
     partition_size: int = 128
     buffer_bytes: int = 32 * 1024
+    workers: int | str | None = None
 
     def __post_init__(self) -> None:
         if self.kernel not in KERNELS:
@@ -74,6 +84,10 @@ class OperatorConfig:
         # Fail the 256 KB uint16-addressing cap here rather than inside
         # build_buffered, which would only run after tracing completed.
         validate_buffer_bytes(self.buffer_bytes)
+        # Reject malformed worker specs at config construction too
+        # (env resolution is deferred to operator use).
+        if self.workers is not None:
+            parse_workers(self.workers)
 
 
 class MemXCTOperator:
@@ -111,6 +125,87 @@ class MemXCTOperator:
         # bytes; bounded so adversarial row sampling cannot grow it
         # without limit.
         self._subset_cache: dict[bytes, tuple[CSRMatrix, CSRMatrix]] = {}
+        # Parallel SpMV engine, resolved lazily on first kernel call so
+        # loading an operator stays cheap and env resolution happens at
+        # use time.  _serial_depth > 0 (see serial_scope) forces the
+        # plain kernels — used by callers that parallelize at a coarser
+        # granularity and must not re-enter the shared pools.
+        self._engine = None
+        self._engine_resolved = False
+        self._serial_depth = 0
+
+    # -- parallel execution ---------------------------------------------
+
+    def _kernel_layouts(self):
+        """(forward, adjoint) layout pair the configured kernel runs on."""
+        if (
+            self.config.kernel == "buffered"
+            and self.buffered_forward is not None
+            and self.buffered_adjoint is not None
+        ):
+            return self.buffered_forward, self.buffered_adjoint
+        if (
+            self.config.kernel == "ell"
+            and self.ell_forward is not None
+            and self.ell_adjoint is not None
+        ):
+            return self.ell_forward, self.ell_adjoint
+        return self.matrix, self.transpose
+
+    def _active_engine(self):
+        """The parallel engine, or None for serial execution."""
+        if self._serial_depth:
+            return None
+        if not self._engine_resolved:
+            self._engine_resolved = True
+            workers, mode = parse_workers(self.config.workers)
+            if workers >= 2:
+                from ..parallel import ParallelSpmvEngine
+
+                forward, adjoint = self._kernel_layouts()
+                self._engine = ParallelSpmvEngine(
+                    workers=workers,
+                    mode=mode,
+                    partition_size=self.config.partition_size,
+                    forward_layout=forward,
+                    adjoint_layout=adjoint,
+                )
+        return self._engine
+
+    def set_workers(self, workers: int | str | None) -> None:
+        """Re-point the operator at a different execution backend.
+
+        Used after loading a cached/persisted operator (worker spec is
+        deliberately not part of the persisted plan).  Tears down any
+        existing engine first.
+        """
+        self.close()
+        self.config = replace(self.config, workers=workers)
+
+    @contextlib.contextmanager
+    def serial_scope(self):
+        """Force serial kernels inside the ``with`` body (reentrant).
+
+        Coarser-grained parallel callers (e.g. the pipeline fanning
+        slices out to threads) wrap operator calls in this scope so the
+        engine's shared pools are never entered from their own workers.
+        """
+        self._serial_depth += 1
+        try:
+            yield self
+        finally:
+            self._serial_depth -= 1
+
+    def close(self) -> None:
+        """Release the parallel engine (pools, shared memory); idempotent.
+
+        The operator remains fully usable afterwards — the next kernel
+        call re-resolves the backend from ``config.workers``.
+        """
+        engine, self._engine = self._engine, None
+        self._engine_resolved = False
+        if engine is not None:
+            engine.close()
 
     # -- protocol ------------------------------------------------------
 
@@ -123,6 +218,9 @@ class MemXCTOperator:
         return self.matrix.num_cols
 
     def _forward_kernel(self, x32: np.ndarray) -> np.ndarray:
+        engine = self._active_engine()
+        if engine is not None:
+            return engine.apply("forward", x32)
         if self.config.kernel == "buffered" and self.buffered_forward is not None:
             return self.buffered_forward.spmv_vectorized(x32)
         if self.config.kernel == "ell" and self.ell_forward is not None:
@@ -130,6 +228,9 @@ class MemXCTOperator:
         return self.matrix.spmv(x32)
 
     def _adjoint_kernel(self, y32: np.ndarray) -> np.ndarray:
+        engine = self._active_engine()
+        if engine is not None:
+            return engine.apply("adjoint", y32)
         if self.config.kernel == "buffered" and self.buffered_adjoint is not None:
             return self.buffered_adjoint.spmv_vectorized(y32)
         if self.config.kernel == "ell" and self.ell_adjoint is not None:
@@ -157,6 +258,9 @@ class MemXCTOperator:
         return x
 
     def _batch_kernel(self, direction: str, slab32: np.ndarray) -> np.ndarray:
+        engine = self._active_engine()
+        if engine is not None:
+            return engine.apply(direction, slab32)
         matrix, buffered, ell = (
             (self.matrix, self.buffered_forward, self.ell_forward)
             if direction == "forward"

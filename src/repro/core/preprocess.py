@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from ..geometry import ParallelBeamGeometry
 from ..obs import span
 from ..ordering import make_ordering
+from ..parallel.backend import make_backend, parse_workers
 from ..sparse import CSRMatrix, build_buffered, build_ell, scan_transpose
 from ..trace import build_projection_matrix
 from .operator import MemXCTOperator, OperatorConfig
@@ -92,6 +93,13 @@ def preprocess(
         finished plan is loaded and **all four stages are skipped**
         (``report.cache_hit``); on a miss the stages run and the plan
         is stored for the next process.
+
+    The worker spec in ``config.workers`` (or ``REPRO_WORKERS``) also
+    parallelizes the tracing stage here: per-angle Siddon tracing fans
+    out across the backend, with chunks reassembled in angle order so
+    the traced matrix is bit-identical to a serial build.  The cache
+    fingerprint excludes the worker spec — plans are shared across
+    worker counts.
     """
     # Imported lazily: repro.cache depends on repro.io which imports
     # repro.core — a module-level import here would close that cycle.
@@ -106,6 +114,11 @@ def preprocess(
         report.cache_key = key
         operator = plan_cache.load(key)
         if operator is not None:
+            if config.workers is not None:
+                # Plans persist no worker spec (it never changes the
+                # numbers); re-apply the requested backend to the
+                # loaded operator.
+                operator.set_workers(config.workers)
             report.cache_hit = True
             return operator, report
 
@@ -129,8 +142,13 @@ def preprocess(
             )
         report.ordering_seconds = sp.duration
 
-        with span("preprocess.tracing") as sp:
-            raw = build_projection_matrix(geometry)
+        workers, mode = parse_workers(config.workers)
+        with span("preprocess.tracing", workers=workers, mode=mode) as sp:
+            backend = make_backend(workers, mode)
+            try:
+                raw = build_projection_matrix(geometry, backend=backend)
+            finally:
+                backend.close()
         report.tracing_seconds = sp.duration
 
         with span("preprocess.transpose") as sp:

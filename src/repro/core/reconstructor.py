@@ -11,7 +11,7 @@ convergence history.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -145,6 +145,7 @@ def reconstruct(
     checkpoint_every: int = 0,
     resume=None,
     health=None,
+    workers: int | str | None = None,
     **solver_kwargs,
 ) -> ReconstructionResult:
     """Reconstruct a tomogram from a 2D sinogram.
@@ -191,6 +192,12 @@ def reconstruct(
         :class:`~repro.resilience.HealthMonitor` — detects NaN/Inf and
         sustained divergence, rolling back to the last checkpoint with
         a damped step.
+    workers:
+        Parallel-execution spec for the SpMV hot path (count, mode, or
+        ``"mode:count"`` — see :func:`repro.parallel.parse_workers`).
+        Overrides ``config.workers`` and applies to a passed-in
+        ``operator`` too.  Execution-only: the reconstruction is
+        bit-identical across worker counts.
     solver_kwargs:
         Extra arguments for the chosen solver.
     """
@@ -212,10 +219,15 @@ def reconstruct(
         solver, checkpoint, checkpoint_every, resume, health
     )
 
+    if workers is not None:
+        config = replace(config or OperatorConfig(), workers=workers)
     if operator is None:
         operator, preprocess_report = preprocess(geometry, config=config, ordering=ordering)
-    elif preprocess_report is None:
-        preprocess_report = PreprocessReport()
+    else:
+        if workers is not None:
+            operator.set_workers(workers)
+        if preprocess_report is None:
+            preprocess_report = PreprocessReport()
 
     y = operator.sinogram_to_ordered(sinogram)
 

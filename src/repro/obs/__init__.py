@@ -50,6 +50,9 @@ from .counters import (
     FAULT_RETRIES,
     HEALTH_EVENTS,
     HEALTH_ROLLBACKS,
+    PARALLEL_DISPATCHES,
+    PARALLEL_SHM_BYTES,
+    PARALLEL_TASKS,
     PIPELINE_CHUNKS,
     PIPELINE_RESUMED_SLICES,
     PIPELINE_SLICES,
@@ -63,7 +66,7 @@ from .counters import (
 )
 from .export import chrome_trace, write_chrome_trace
 from .registry import REGISTRY, Capture, Registry, add_count, capture
-from .spans import SpanRecord, span, traced
+from .spans import SpanRecord, emit_span, span, traced
 
 __all__ = [
     "BUFFER_STAGES",
@@ -85,6 +88,9 @@ __all__ = [
     "FAULT_RETRIES",
     "HEALTH_EVENTS",
     "HEALTH_ROLLBACKS",
+    "PARALLEL_DISPATCHES",
+    "PARALLEL_SHM_BYTES",
+    "PARALLEL_TASKS",
     "PIPELINE_CHUNKS",
     "PIPELINE_RESUMED_SLICES",
     "PIPELINE_SLICES",
@@ -103,6 +109,7 @@ __all__ = [
     "add_count",
     "capture",
     "SpanRecord",
+    "emit_span",
     "span",
     "traced",
 ]

@@ -45,6 +45,9 @@ __all__ = [
     "PIPELINE_SLICES",
     "PIPELINE_CHUNKS",
     "PIPELINE_RESUMED_SLICES",
+    "PARALLEL_TASKS",
+    "PARALLEL_DISPATCHES",
+    "PARALLEL_SHM_BYTES",
 ]
 
 #: FMA work of every SpMV executed (2 flops per stored nonzero).
@@ -101,6 +104,12 @@ PIPELINE_SLICES = "pipeline.slices"
 PIPELINE_CHUNKS = "pipeline.chunks"
 #: Slices skipped on resume because a chunk checkpoint covered them.
 PIPELINE_RESUMED_SLICES = "pipeline.resumed_slices"
+#: Worker tasks executed by the shared-memory parallel backend.
+PARALLEL_TASKS = "parallel.tasks"
+#: Parallel fan-outs dispatched (one per backend.map / engine apply).
+PARALLEL_DISPATCHES = "parallel.dispatches"
+#: Bytes placed in multiprocessing shared memory by the process backend.
+PARALLEL_SHM_BYTES = "parallel.shm_bytes"
 
 #: Default unit per canonical counter name.
 CANONICAL_UNITS = {
@@ -131,6 +140,9 @@ CANONICAL_UNITS = {
     PIPELINE_SLICES: "slice",
     PIPELINE_CHUNKS: "chunk",
     PIPELINE_RESUMED_SLICES: "slice",
+    PARALLEL_TASKS: "task",
+    PARALLEL_DISPATCHES: "dispatch",
+    PARALLEL_SHM_BYTES: "byte",
 }
 
 

@@ -17,7 +17,7 @@ import functools
 from dataclasses import dataclass, field
 from time import perf_counter
 
-__all__ = ["SpanRecord", "span", "traced"]
+__all__ = ["SpanRecord", "span", "traced", "emit_span"]
 
 
 @dataclass
@@ -76,6 +76,24 @@ class span:
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+
+def emit_span(name: str, start: float, end: float, **attrs) -> None:
+    """Record an already-timed region as a finished span.
+
+    Used when the timed work ran somewhere the registry's span stack
+    cannot follow — a worker thread or a worker process.  The
+    coordinator measures (or collects) ``perf_counter`` start/end
+    stamps and emits the span afterwards; it nests under whatever span
+    the coordinator currently has open.  No-op when observation is
+    inactive.
+    """
+    from .registry import REGISTRY
+
+    if not REGISTRY.active:
+        return
+    record = REGISTRY.begin_span(name, attrs, start)
+    REGISTRY.end_span(record, end)
 
 
 def traced(name: str | None = None, **attrs):

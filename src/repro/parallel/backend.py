@@ -1,0 +1,241 @@
+"""Worker-count parsing and the three execution backends.
+
+The parallel layer reproduces the *intra-node* decomposition of the
+paper (Section 4.1): each OpenMP thread owns a contiguous range of
+Hilbert-ordered row partitions.  In this reproduction the "threads"
+come from one of three interchangeable backends:
+
+``serial``
+    No pool at all — the caller runs the tasks inline.  This is the
+    reference execution every other backend must match bit-for-bit.
+``thread``
+    A shared :class:`~concurrent.futures.ThreadPoolExecutor`.  NumPy
+    kernels release the GIL inside their C loops, so partition-range
+    SpMV scales across threads without pickling anything.
+``process``
+    A fork-context :class:`~concurrent.futures.ProcessPoolExecutor`
+    whose workers attach the operator's arrays from POSIX shared
+    memory (see :mod:`repro.parallel.shm`).  Used when thread scaling
+    is GIL-bound (many tiny partitions) or explicitly requested.
+
+Worker counts resolve from, in priority order: an explicit
+``workers=`` argument / ``--workers`` flag, the ``REPRO_WORKERS``
+environment variable, and finally serial.  A spec is either a count
+(``4`` — thread mode), a mode name (``"process"`` — one worker per
+CPU), ``"auto"``, or ``"mode:count"`` (``"process:4"``).
+
+This module imports only the standard library so every layer — sparse,
+trace, pipeline — can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "ENV_WORKERS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "parse_workers",
+    "make_backend",
+    "shutdown_shared_pools",
+]
+
+#: Environment variable consulted when no explicit worker spec is given.
+ENV_WORKERS = "REPRO_WORKERS"
+
+_MODES = ("serial", "thread", "process")
+
+
+def _cpu_workers() -> int:
+    return max(os.cpu_count() or 1, 1)
+
+
+def parse_workers(spec: int | str | None, *, env: bool = True) -> tuple[int, str]:
+    """Resolve a worker spec into ``(workers, mode)``.
+
+    ``None`` defers to the ``REPRO_WORKERS`` environment variable (and
+    to serial when that is unset).  Counts below 2 collapse to
+    ``(1, "serial")`` — a one-worker pool would only add overhead.
+    """
+    if spec is None:
+        raw = os.environ.get(ENV_WORKERS) if env else None
+        if raw is None or not raw.strip():
+            return 1, "serial"
+        return parse_workers(raw.strip(), env=False)
+    if isinstance(spec, bool):
+        raise TypeError("workers must be an int or str, not bool")
+    if isinstance(spec, int):
+        if spec < 1:
+            raise ValueError(f"workers must be >= 1, got {spec}")
+        return (spec, "thread") if spec > 1 else (1, "serial")
+    if not isinstance(spec, str):
+        raise TypeError(f"workers must be an int, str or None, got {type(spec)!r}")
+
+    text = spec.strip().lower()
+    if not text:
+        return 1, "serial"
+    mode: str | None = None
+    count: int | None = None
+    if ":" in text:
+        head, _, tail = text.partition(":")
+        mode, count_text = head.strip(), tail.strip()
+        if mode not in _MODES:
+            raise ValueError(f"unknown worker mode {head!r} (expected one of {_MODES})")
+        if not count_text.isdigit():
+            raise ValueError(f"bad worker count {tail!r} in spec {spec!r}")
+        count = int(count_text)
+    elif text.isdigit():
+        count = int(text)
+    elif text == "auto":
+        count = _cpu_workers()
+    elif text in _MODES:
+        mode = text
+        count = 1 if text == "serial" else _cpu_workers()
+    else:
+        raise ValueError(
+            f"bad workers spec {spec!r}: expected a count, 'auto', one of "
+            f"{_MODES}, or 'mode:count'"
+        )
+    if count < 1:
+        raise ValueError(f"workers must be >= 1, got {count} in spec {spec!r}")
+    if mode == "serial" or (count == 1 and mode != "process"):
+        return 1, "serial"
+    return count, mode or "thread"
+
+
+class ExecutionBackend:
+    """Common interface: ordered ``map`` over a task sequence."""
+
+    mode: str = "serial"
+    workers: int = 1
+
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        """Apply ``fn`` to every task, returning results in task order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution — the bit-identity reference."""
+
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        return [fn(task) for task in tasks]
+
+
+# Thread pools are shared per worker count: an ambient ``REPRO_WORKERS``
+# would otherwise spin up (and leak) a pool per operator instance.
+_THREAD_POOLS: dict[int, ThreadPoolExecutor] = {}
+_THREAD_POOLS_LOCK = threading.Lock()
+
+
+class ThreadBackend(ExecutionBackend):
+    """Shared-pool thread execution (NumPy releases the GIL)."""
+
+    mode = "thread"
+
+    def __init__(self, workers: int):
+        if workers < 2:
+            raise ValueError(f"thread backend needs >= 2 workers, got {workers}")
+        self.workers = workers
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with _THREAD_POOLS_LOCK:
+            pool = _THREAD_POOLS.get(self.workers)
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix=f"repro-worker-{self.workers}",
+                )
+                _THREAD_POOLS[self.workers] = pool
+            return pool
+
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        return list(self._pool().map(fn, tasks))
+
+    def close(self) -> None:
+        # The pool is shared; it outlives any one backend.  Tests that
+        # need a hard teardown call shutdown_shared_pools().
+        pass
+
+
+def shutdown_shared_pools() -> None:
+    """Tear down every shared thread pool (test/process-exit hygiene)."""
+    with _THREAD_POOLS_LOCK:
+        pools = list(_THREAD_POOLS.values())
+        _THREAD_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fork-context process pool with an attach-on-init hook.
+
+    ``initializer``/``initargs`` run once in every worker; the SpMV
+    engine uses them to attach the operator's shared-memory segments so
+    per-task payloads stay tiny.  The pool is created lazily on first
+    ``map`` and torn down by :meth:`close`.
+    """
+
+    mode = "process"
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        initializer: Callable | None = None,
+        initargs: Iterable = (),
+    ):
+        if workers < 1:
+            raise ValueError(f"process backend needs >= 1 worker, got {workers}")
+        self.workers = workers
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        return self._pool
+
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        return list(self._ensure_pool().map(fn, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_backend(
+    workers: int,
+    mode: str,
+    *,
+    initializer: Callable | None = None,
+    initargs: Iterable = (),
+) -> ExecutionBackend:
+    """Build the backend for a resolved ``(workers, mode)`` pair."""
+    if mode == "serial" or workers < 2:
+        return SerialBackend()
+    if mode == "thread":
+        return ThreadBackend(workers)
+    if mode == "process":
+        return ProcessBackend(workers, initializer=initializer, initargs=initargs)
+    raise ValueError(f"unknown backend mode {mode!r}")

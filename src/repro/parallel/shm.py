@@ -1,0 +1,138 @@
+"""POSIX shared-memory export of numpy arrays for the process backend.
+
+The process backend must hand workers the operator's matrix arrays
+(hundreds of MB at paper scale) and the per-call input vector without
+pickling them into every task.  Both travel through
+:class:`multiprocessing.shared_memory.SharedMemory`:
+
+* the **parent** packs a named set of arrays into one segment
+  (:class:`SharedArrays`) and ships only the segment name plus a tiny
+  manifest ``{name: (shape, dtype, offset)}``;
+* **workers** attach the segment and rebuild zero-copy views
+  (:func:`attach_arrays`) or safe copies (:func:`read_copy`).
+
+Lifecycle discipline (this exact split is what keeps the resource
+tracker quiet): only the parent ever *creates* and *unlinks* segments;
+workers only *attach*.  Long-lived attachments (the operator arrays)
+are cached in a per-process registry so the backing mmap outlives the
+numpy views; transient attachments (per-call inputs) are copied out and
+closed immediately so the parent may unlink as soon as the dispatch
+drains.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SharedArrays",
+    "Manifest",
+    "attach_arrays",
+    "read_copy",
+    "detach_all",
+]
+
+_ALIGN = 64
+
+#: ``{array name: (shape tuple, dtype string, byte offset)}``.
+Manifest = dict
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class SharedArrays:
+    """A named set of numpy arrays packed into one shared segment.
+
+    >>> shared = SharedArrays({"x": x})
+    >>> task = (shared.name, shared.manifest)   # picklable, tiny
+    ...
+    >>> shared.dispose()                        # close + unlink
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        manifest: Manifest = {}
+        offset = 0
+        packed: list[tuple[int, np.ndarray]] = []
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            offset = _aligned(offset)
+            manifest[name] = (array.shape, array.dtype.str, offset)
+            packed.append((offset, array))
+            offset += array.nbytes
+        self.manifest = manifest
+        self.nbytes = offset
+        # SharedMemory refuses size 0; a one-byte segment still lets
+        # zero-size arrays round-trip through their (shape, dtype).
+        self.shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for start, array in packed:
+            if array.nbytes:
+                view = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=self.shm.buf, offset=start
+                )
+                view[...] = array
+                del view
+        self._disposed = False
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def dispose(self) -> None:
+        """Close and unlink the segment (parent side; idempotent)."""
+        if self._disposed:
+            return
+        self._disposed = True
+        self.shm.close()
+        self.shm.unlink()
+
+
+# Worker-side cache of attached segments.  The SharedMemory object must
+# stay referenced for as long as any numpy view into it exists, so
+# attachments live here until detach_all().
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def attach_arrays(name: str, manifest: Manifest) -> dict[str, np.ndarray]:
+    """Attach a segment and rebuild zero-copy views of its arrays.
+
+    The attachment is cached per process; repeated calls with the same
+    segment name reuse it.  Views stay valid until :func:`detach_all`.
+    """
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        _ATTACHED[name] = segment
+    views: dict[str, np.ndarray] = {}
+    for key, (shape, dtype, offset) in manifest.items():
+        views[key] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset)
+    return views
+
+
+def read_copy(name: str, manifest: Manifest) -> dict[str, np.ndarray]:
+    """Attach a segment transiently and copy its arrays out.
+
+    For per-call payloads (input vectors): the copy lets this process
+    close the attachment immediately, so the parent can unlink the
+    segment the moment the dispatch completes.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        out: dict[str, np.ndarray] = {}
+        for key, (shape, dtype, offset) in manifest.items():
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset)
+            out[key] = np.array(view, copy=True)
+            del view
+        return out
+    finally:
+        segment.close()
+
+
+def detach_all() -> None:
+    """Close every cached attachment (worker shutdown hygiene)."""
+    while _ATTACHED:
+        _, segment = _ATTACHED.popitem()
+        segment.close()

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -31,9 +31,11 @@ from ..obs import (
     PIPELINE_CHUNKS,
     PIPELINE_RESUMED_SLICES,
     PIPELINE_SLICES,
+    REGISTRY,
     add_count,
     span,
 )
+from ..parallel.backend import make_backend, parse_workers
 from ..resilience.checkpoint import CheckpointError, CheckpointManager, SolverCheckpoint
 from ..solvers import cgls, cgls_batch, mlem, mlem_batch, sirt, sirt_batch
 from .stages import Stage, StageContext, default_stages
@@ -111,11 +113,21 @@ def _solve_chunk_batched(solver, op, Y, iterations, tolerance, solver_kwargs):
     return mlem_batch(op, Y, num_iterations=iterations, tolerance=tolerance, **solver_kwargs)
 
 
-def _solve_chunk_looped(solver, op, Y, iterations, tolerance, solver_kwargs):
-    """Reference path: one single-slice solve per column."""
-    columns = []
-    iters = []
-    for j in range(Y.shape[1]):
+def _solve_chunk_looped(
+    solver, op, Y, iterations, tolerance, solver_kwargs, backend=None
+):
+    """Reference path: one single-slice solve per column.
+
+    With a (thread) backend, the independent per-slice solves fan out
+    across workers while the operator is pinned to serial kernels —
+    parallelism moves to the coarser slice granularity instead of
+    nesting inside the shared SpMV pools.  Results are stacked in slice
+    order either way, so the volume is bit-identical.  Observation
+    forces the serial loop: the span stack and counters are not safe
+    against concurrent solver instrumentation.
+    """
+
+    def solve_one(j: int):
         y = np.ascontiguousarray(Y[:, j])
         if solver == "cg":
             res = cgls(op, y, num_iterations=iterations, tolerance=tolerance, **solver_kwargs)
@@ -123,8 +135,15 @@ def _solve_chunk_looped(solver, op, Y, iterations, tolerance, solver_kwargs):
             res = sirt(op, y, num_iterations=iterations, **solver_kwargs)
         else:
             res = mlem(op, y, num_iterations=iterations, **solver_kwargs)
-        columns.append(res.x)
-        iters.append(res.iterations)
+        return res.x, res.iterations
+
+    if backend is not None and backend.workers > 1 and not REGISTRY.active:
+        with op.serial_scope():
+            results = backend.map(solve_one, range(Y.shape[1]))
+    else:
+        results = [solve_one(j) for j in range(Y.shape[1])]
+    columns = [x for x, _ in results]
+    iters = [it for _, it in results]
     return np.stack(columns, axis=1), iters
 
 
@@ -148,6 +167,7 @@ def reconstruct_stack(
     checkpoint=None,
     resume: bool = False,
     max_chunks: int | None = None,
+    workers: int | str | None = None,
     **solver_kwargs,
 ) -> StackResult:
     """Reconstruct a 3D stack of sinograms through the staged pipeline.
@@ -199,6 +219,13 @@ def reconstruct_stack(
     max_chunks:
         Stop (cleanly, after checkpointing) once this many chunks were
         processed in *this* run — the hook CI uses to simulate a kill.
+    workers:
+        Parallel-execution spec (see :func:`repro.parallel.parse_workers`).
+        The batched path parallelizes each multi-RHS SpMV across
+        partition ranges; the looped path (``batch=False``) instead
+        fans independent slice solves out to threads with the operator
+        pinned serial, so the shared pools are never entered twice.
+        Either way the volume is bit-identical to a serial run.
     """
     t_start = time.perf_counter()
     raw_stack = np.asarray(raw_stack)
@@ -233,6 +260,19 @@ def reconstruct_stack(
         )
     if resume and manager is None:
         raise ValueError("resume=True requires a checkpoint")
+
+    if workers is not None:
+        config = replace(config or OperatorConfig(), workers=workers)
+        if operator is not None:
+            operator.set_workers(workers)
+    # Slice-level fan-out for the looped path is always thread-based:
+    # each solve would otherwise pickle solver state into a process.
+    slice_workers, _ = parse_workers(workers)
+    slice_backend = (
+        make_backend(slice_workers, "thread")
+        if (not batch and slice_workers > 1)
+        else None
+    )
 
     with span("pipeline.run", slices=num_slices, solver=solver):
         if operator is None:
@@ -318,7 +358,13 @@ def reconstruct_stack(
                         X, iters = result.X, result.iterations.tolist()
                     else:
                         X, iters = _solve_chunk_looped(
-                            solver, operator, Y, iterations, tolerance, solver_kwargs
+                            solver,
+                            operator,
+                            Y,
+                            iterations,
+                            tolerance,
+                            solver_kwargs,
+                            backend=slice_backend,
                         )
                 chunk_seconds = time.perf_counter() - t0
                 solve_seconds += chunk_seconds

@@ -55,8 +55,15 @@ def validate_buffer_bytes(buffer_bytes: int) -> int:
 
     Shared by :func:`build_buffered` and ``OperatorConfig`` so an
     out-of-range capacity fails at config construction, not after
-    tracing has already been paid for.
+    tracing has already been paid for.  The capacity must be a whole
+    number of float32 elements — a non-multiple of 4 would silently
+    floor (30 KB + 3 B behaving as 30 KB), so it is rejected instead.
     """
+    if buffer_bytes % BYTES_PER_INPUT_ELEMENT:
+        raise ValueError(
+            f"buffer_bytes must be a multiple of {BYTES_PER_INPUT_ELEMENT} "
+            f"(float32 elements), got {buffer_bytes}"
+        )
     buffer_elements = buffer_bytes // BYTES_PER_INPUT_ELEMENT
     if buffer_elements < 1:
         raise ValueError(f"buffer too small: {buffer_bytes} bytes")
@@ -108,6 +115,25 @@ class BufferedMatrix:
     def stages_per_partition(self) -> np.ndarray:
         """Stage count of each partition (paper Fig. 6(b))."""
         return np.diff(self.partdispl)
+
+    # -- persistence ---------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the layout fields only, never the lazy index plan.
+
+        ``_vector_plan`` caches derived index arrays on the instance;
+        carrying that cache through pickling (the plan cache, the
+        process-pool backend) would persist megabytes of redundant
+        state and could go stale if ``displ``/``ind`` are replaced
+        after a load.  It is rebuilt lazily on first use instead.
+        """
+        state = dict(self.__dict__)
+        state.pop("_plan", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state.pop("_plan", None)  # defensive: drop plans from old pickles
+        self.__dict__.update(state)
 
     def map_bytes(self) -> int:
         """Extra memory traffic for staging: the ``map`` reads."""
@@ -196,6 +222,41 @@ class BufferedMatrix:
         y = np.zeros(self.num_rows, dtype=np.result_type(x.dtype, np.float32))
         np.add.at(y, rows_kept, slot_sums[keep])
         return y
+
+    def partition_slice(self, part0: int, part1: int) -> "BufferedMatrix":
+        """View-based sub-layout of the partition range ``[part0, part1)``.
+
+        The stage-grouped arrays of a contiguous partition range are
+        themselves contiguous, so the slice shares ``map``/``ind``/
+        ``val`` storage with the parent; only the small offset arrays
+        are rebased copies.  Running any kernel on the slice produces
+        exactly the rows ``[part0 * partsize, min(part1 * partsize,
+        num_rows))`` of the parent's result, bit-identically — the
+        contract the partition-parallel backend is built on.
+        """
+        if not 0 <= part0 <= part1 <= self.partitions.num_partitions:
+            raise ValueError(
+                f"partition range [{part0}, {part1}) outside "
+                f"[0, {self.partitions.num_partitions})"
+            )
+        partsize = self.partitions.partition_size
+        s0, s1 = int(self.partdispl[part0]), int(self.partdispl[part1])
+        m0, m1 = int(self.stagedispl[s0]), int(self.stagedispl[s1])
+        d0 = int(self.displ[s0 * partsize])
+        d1 = int(self.displ[s1 * partsize])
+        row0 = part0 * partsize
+        row1 = min(part1 * partsize, self.num_rows)
+        return BufferedMatrix(
+            partitions=RowPartitions(row1 - row0, partsize),
+            buffer_elements=self.buffer_elements,
+            partdispl=self.partdispl[part0 : part1 + 1] - s0,
+            stagedispl=self.stagedispl[s0 : s1 + 1] - m0,
+            map=self.map[m0:m1],
+            displ=self.displ[s0 * partsize : s1 * partsize + 1] - d0,
+            ind=self.ind[d0:d1],
+            val=self.val[d0:d1],
+            num_cols=self.num_cols,
+        )
 
     def spmv_batch(self, x: np.ndarray) -> np.ndarray:
         """Staged multi-RHS SpMV for an ``(num_cols, S)`` slab.

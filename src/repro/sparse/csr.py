@@ -148,13 +148,25 @@ class CSRMatrix:
         """Reindex rows and/or columns.
 
         ``row_perm[k]`` is the old row placed at new row ``k`` (curve
-        order to storage order); ``col_rank[old]`` is the new index of
-        an old column.  This is how domain orderings are applied to the
-        traced matrix without re-tracing.
+        order to storage order; any subset or repetition of old rows is
+        allowed — row subsets are how SGD minibatch operators are
+        built); ``col_rank[old]`` is the new index of an old column and
+        must be a bijection on ``[0, num_cols)`` — anything else would
+        silently merge or drop columns while ``num_cols`` stays
+        unchanged, producing a corrupt matrix.  This is how domain
+        orderings are applied to the traced matrix without re-tracing.
         """
         displ, ind, val = self.displ, self.ind, self.val
         if row_perm is not None:
             row_perm = np.asarray(row_perm, dtype=np.int64)
+            if row_perm.ndim != 1:
+                raise ValueError(f"row_perm must be 1D, got shape {row_perm.shape}")
+            if row_perm.size and (
+                row_perm.min() < 0 or row_perm.max() >= self.num_rows
+            ):
+                raise ValueError(
+                    f"row_perm indexes rows outside [0, {self.num_rows})"
+                )
             counts = np.diff(displ)[row_perm]
             new_displ = np.zeros(len(row_perm) + 1, dtype=np.int64)
             np.cumsum(counts, out=new_displ[1:])
@@ -164,8 +176,42 @@ class CSRMatrix:
             displ = new_displ
         if col_rank is not None:
             col_rank = np.asarray(col_rank, dtype=np.int64)
+            if col_rank.shape != (self.num_cols,):
+                raise ValueError(
+                    f"col_rank must have shape ({self.num_cols},), "
+                    f"got {col_rank.shape}"
+                )
+            if self.num_cols:
+                if col_rank.min() < 0 or col_rank.max() >= self.num_cols:
+                    raise ValueError(
+                        f"col_rank maps columns outside [0, {self.num_cols})"
+                    )
+                if np.bincount(col_rank, minlength=self.num_cols).max() > 1:
+                    raise ValueError(
+                        "col_rank is not injective: two old columns map to "
+                        "the same new index"
+                    )
             ind = col_rank[ind].astype(np.int32)
         return CSRMatrix(displ=displ, ind=ind, val=val, num_cols=self.num_cols)
+
+    def row_block(self, row0: int, row1: int) -> "CSRMatrix":
+        """View-based sub-matrix of the contiguous row range ``[row0, row1)``.
+
+        ``ind``/``val`` are views into this matrix's arrays (only the
+        rebased ``displ`` is a fresh allocation), so worker-owned row
+        blocks of the parallel backend cost O(rows) memory, not O(nnz).
+        """
+        if not 0 <= row0 <= row1 <= self.num_rows:
+            raise ValueError(
+                f"row range [{row0}, {row1}) outside [0, {self.num_rows})"
+            )
+        lo, hi = self.displ[row0], self.displ[row1]
+        return CSRMatrix(
+            displ=self.displ[row0 : row1 + 1] - lo,
+            ind=self.ind[lo:hi],
+            val=self.val[lo:hi],
+            num_cols=self.num_cols,
+        )
 
     def sort_rows_by_index(self) -> "CSRMatrix":
         """Sort the nonzeros of each row by column index (ascending).

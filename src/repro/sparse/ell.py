@@ -67,6 +67,31 @@ class ELLPartitioned:
         total = self.padded_nnz
         return 1.0 - real / total if total else 0.0
 
+    def partition_slice(self, part0: int, part1: int) -> "ELLPartitioned":
+        """View-based sub-layout of the partition range ``[part0, part1)``.
+
+        The per-partition slabs are shared (list slices of the same
+        arrays), so worker-owned partition ranges of the parallel
+        backend cost no slab copies.  Any kernel on the slice produces
+        exactly rows ``[part0 * partsize, min(part1 * partsize,
+        num_rows))`` of the parent's result, bit-identically.
+        """
+        if not 0 <= part0 <= part1 <= self.partitions.num_partitions:
+            raise ValueError(
+                f"partition range [{part0}, {part1}) outside "
+                f"[0, {self.partitions.num_partitions})"
+            )
+        partsize = self.partitions.partition_size
+        row0 = part0 * partsize
+        row1 = min(part1 * partsize, self.num_rows)
+        return ELLPartitioned(
+            partitions=RowPartitions(row1 - row0, partsize),
+            widths=self.widths[part0:part1],
+            ind_slabs=self.ind_slabs[part0:part1],
+            val_slabs=self.val_slabs[part0:part1],
+            num_cols=self.num_cols,
+        )
+
     def spmv(self, x: np.ndarray) -> np.ndarray:
         """Coalesced-style SpMV: one vector op per ELL column slot."""
         x = np.asarray(x)
