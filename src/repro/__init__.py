@@ -18,7 +18,7 @@ Public API highlights:
   cache simulator behind the performance studies.
 """
 
-from . import cache, cachesim, cli, core, dist, geometry, io, machine, measurement, obs, ordering, persist, phantoms, pipeline, resilience, solvers, sparse, trace, utils
+from . import autotune, cache, cachesim, cli, core, dist, geometry, io, machine, measurement, obs, ordering, persist, phantoms, pipeline, precision, resilience, solvers, sparse, trace, utils
 from .core import (
     CompXCTOperator,
     DatasetSpec,
@@ -33,6 +33,7 @@ from .core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "autotune",
     "cache",
     "cachesim",
     "cli",
@@ -45,6 +46,7 @@ __all__ = [
     "ordering",
     "phantoms",
     "pipeline",
+    "precision",
     "solvers",
     "sparse",
     "trace",

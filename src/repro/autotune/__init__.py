@@ -1,0 +1,41 @@
+"""Autotuned operator configurations (paper Section 4 / Fig 10).
+
+The paper tunes its buffered SpMV per machine by sweeping partition and
+buffer sizes and reading the heatmap.  This package automates that:
+an analytic-model *predict* phase prunes the sweep, a short measured
+*trial* phase picks the winner, and the decision is persisted next to
+the plan cache keyed by a geometry+dtype fingerprint so warm runs skip
+the search entirely.
+"""
+
+from .search import (
+    DEFAULT_BUFFER_SIZES,
+    DEFAULT_PARTITION_SIZES,
+    Autotuner,
+    Candidate,
+    ScoredCandidate,
+    TuneOutcome,
+)
+from .store import (
+    RECORD_VERSION,
+    TuneStore,
+    TuningIntegrityWarning,
+    TuningRecord,
+    TuningRecordError,
+    tune_fingerprint,
+)
+
+__all__ = [
+    "Autotuner",
+    "Candidate",
+    "ScoredCandidate",
+    "TuneOutcome",
+    "DEFAULT_PARTITION_SIZES",
+    "DEFAULT_BUFFER_SIZES",
+    "RECORD_VERSION",
+    "TuningRecord",
+    "TuningRecordError",
+    "TuningIntegrityWarning",
+    "TuneStore",
+    "tune_fingerprint",
+]

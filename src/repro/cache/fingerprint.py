@@ -32,9 +32,18 @@ def fingerprint_inputs(
     min_tiles: int = 16,
     tile_size: int | None = None,
 ) -> dict:
-    """The canonical (JSON-ready) document a fingerprint hashes."""
+    """The canonical (JSON-ready) document a fingerprint hashes.
+
+    The config section carries the compute ``dtype`` only when one is
+    explicitly set: fp32 and fp64 plans therefore hash to different
+    keys and never collide, while the default mixed-precision
+    fingerprints (and every cache written before the dtype path
+    existed) remain unchanged.  The ``tune``/``workers`` execution
+    knobs are deliberately excluded — tuning is resolved *before*
+    fingerprinting and workers never change the numbers.
+    """
     config = config or OperatorConfig()
-    return {
+    doc = {
         "format_version": FORMAT_VERSION,
         "geometry": {
             "num_angles": int(geometry.num_angles),
@@ -54,6 +63,9 @@ def fingerprint_inputs(
             "buffer_bytes": int(config.buffer_bytes),
         },
     }
+    if config.dtype is not None:
+        doc["config"]["dtype"] = config.dtype
+    return doc
 
 
 def plan_fingerprint(

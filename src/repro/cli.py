@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the beamline workflow:
+Eight subcommands cover the beamline workflow:
 
 * ``info``        — list datasets (Table 3) and machine models (Table 2);
 * ``preprocess``  — memoize a scan geometry into an operator file;
@@ -14,7 +14,13 @@ Seven subcommands cover the beamline workflow:
 * ``scale``       — print a modeled weak/strong scaling curve
   (paper Fig. 11) for a dataset-machine pair;
 * ``cache``       — list / inspect / clear / prune the persistent
-  operator-plan cache (see ``docs/persistence.md``).
+  operator-plan cache (see ``docs/persistence.md``);
+* ``tune``        — run / show / clear autotuned kernel configurations
+  (see ``docs/autotuning.md``).
+
+``preprocess``, ``reconstruct`` and ``pipeline`` additionally accept
+``--dtype float32|float64`` (compute precision) and ``--tune
+auto|predict|force`` (autotuned kernel configuration).
 
 Commands that build an operator plan (``preprocess``, ``reconstruct``,
 ``bench``) consult the plan cache transparently — ``--cache auto`` is
@@ -101,6 +107,8 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
         partition_size=args.partition_size,
         buffer_bytes=args.buffer_kb * 1024,
         workers=args.workers,
+        dtype=args.dtype,
+        tune=args.tune,
     )
     t0 = time.perf_counter()
     operator, report = preprocess(
@@ -128,7 +136,11 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
         spec = get_dataset(args.demo).scaled(args.scale)
         geometry = spec.geometry()
         if operator is None:
-            operator, prep = preprocess(geometry, cache=args.cache)
+            operator, prep = preprocess(
+                geometry,
+                config=OperatorConfig(dtype=args.dtype, tune=args.tune),
+                cache=args.cache,
+            )
             _print_cache_status(prep)
         sinogram, truth = spec.sinogram(operator, incident_photons=args.photons)
     else:
@@ -153,6 +165,9 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
         resume=args.resume,
         health=args.health or None,
         workers=args.workers,
+        dtype=args.dtype,
+        tune=args.tune,
+        cache=args.cache,
     )
     line = (
         f"{args.solver} x{result.solve.iterations} iterations in "
@@ -212,6 +227,10 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         darks, flats = demo.darks, demo.flats
         geometry, operator = demo.geometry, demo.operator
         _print_cache_status(demo.preprocess_report)
+        if args.dtype or args.tune:
+            # The demo helper builds a default-precision operator;
+            # drop it so the stack preprocess honours --dtype/--tune.
+            operator = None
     else:
         if not args.input:
             print("error: provide --input FILE or --demo", file=sys.stderr)
@@ -242,6 +261,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         resume=args.resume,
         max_chunks=args.max_chunks,
         workers=args.workers,
+        dtype=args.dtype,
+        tune=args.tune,
     )
     if operator is None:
         _print_cache_status(result.preprocess_report)
@@ -431,6 +452,81 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .autotune import TuneStore
+
+    if args.action == "run":
+        if args.angles is None or args.channels is None:
+            print(
+                "error: 'tune run' needs --angles and --channels", file=sys.stderr
+            )
+            return 2
+        from .geometry import ParallelBeamGeometry
+
+        geometry = ParallelBeamGeometry(args.angles, args.channels)
+        config = OperatorConfig(dtype=args.dtype, tune=args.mode)
+        t0 = time.perf_counter()
+        operator, report = preprocess(
+            geometry, config=config, ordering=args.ordering, cache=args.cache
+        )
+        cfg = operator.config
+        if report.extra.get("autotune_warm"):
+            print("tuning record hit: reused the persisted winner")
+        else:
+            print(
+                f"tuned {args.angles}x{args.channels} in "
+                f"{format_seconds(time.perf_counter() - t0)}: "
+                f"{report.extra.get('autotune_candidates', 0):.0f} candidates "
+                f"predicted, {report.extra.get('autotune_trials', 0):.0f} trials "
+                f"measured"
+            )
+        print(
+            f"winner: kernel={cfg.kernel} partition_size={cfg.partition_size} "
+            f"buffer_bytes={cfg.buffer_bytes}"
+            + (f" workers={cfg.workers}" if cfg.workers else "")
+            + (f" dtype={cfg.dtype}" if cfg.dtype else "")
+        )
+        return 0
+
+    store = TuneStore.resolve(args.cache if args.cache != "off" else "auto")
+    if store is None:
+        print("error: tuning store unavailable (cache off)", file=sys.stderr)
+        return 1
+
+    if args.action == "show":
+        entries = store.entries()
+        if not entries:
+            print(f"no tuning records at {store.root}")
+            return 0
+        rows = []
+        for key, rec in entries:
+            measured = (
+                f"{rec.measured_seconds * 1e3:.3g} ms"
+                if rec.measured_seconds is not None
+                else "-"
+            )
+            rows.append([
+                key[:12],
+                rec.kernel,
+                rec.partition_size,
+                format_bytes(rec.buffer_bytes),
+                rec.workers,
+                rec.dtype or "default",
+                f"{rec.predicted_seconds * 1e3:.3g} ms",
+                measured,
+                rec.trials,
+            ])
+        print(render_table(
+            ["Key", "Kernel", "Part", "Buffer", "Workers", "Dtype",
+             "Predicted", "Measured", "Trials"],
+            rows, title=f"Tuning records at {store.root}"))
+        return 0
+
+    removed = store.clear()
+    print(f"removed {removed} tuning records from {store.root}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MemXCT reproduction command-line interface"
@@ -469,6 +565,25 @@ def build_parser() -> argparse.ArgumentParser:
         "Results are bit-identical across worker counts (docs/parallel.md)",
     )
 
+    tune_flags = argparse.ArgumentParser(add_help=False)
+    tune_flags.add_argument(
+        "--dtype",
+        default=None,
+        choices=("float32", "float64"),
+        help="compute precision: omit for the default mixed precision, "
+        "'float32' for end-to-end single precision (half the vector "
+        "traffic; see docs/autotuning.md for the error contract), "
+        "'float64' for the full double-precision reference path",
+    )
+    tune_flags.add_argument(
+        "--tune",
+        default=None,
+        choices=("auto", "predict", "force"),
+        help="autotune the kernel configuration: 'auto' reuses a persisted "
+        "record or runs predict+trial search, 'predict' is model-only, "
+        "'force' re-runs the search ignoring any record",
+    )
+
     sub.add_parser(
         "info", help="list datasets and machine models", parents=[obs_flags]
     )
@@ -476,7 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "preprocess",
         help="memoize a scan geometry",
-        parents=[obs_flags, cache_flags, workers_flags],
+        parents=[obs_flags, cache_flags, workers_flags, tune_flags],
     )
     p.add_argument("--angles", type=int, required=True)
     p.add_argument("--channels", type=int, required=True)
@@ -489,7 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "reconstruct",
         help="reconstruct a sinogram",
-        parents=[obs_flags, cache_flags, workers_flags],
+        parents=[obs_flags, cache_flags, workers_flags, tune_flags],
     )
     p.add_argument("--sinogram", help=".npz file with a 'sinogram' array")
     p.add_argument("--demo", choices=sorted(DATASETS), help="synthesize a demo dataset")
@@ -531,7 +646,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "pipeline",
         help="streaming multi-slice stack reconstruction (docs/pipeline.md)",
-        parents=[obs_flags, cache_flags, workers_flags],
+        parents=[obs_flags, cache_flags, workers_flags, tune_flags],
     )
     p.add_argument("action", choices=("run",))
     p.add_argument(
@@ -617,6 +732,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="size cap in MB for 'prune' (default: the cache's own cap)",
     )
 
+    p = sub.add_parser(
+        "tune",
+        help="run / show / clear autotuned operator configurations "
+        "(docs/autotuning.md)",
+        parents=[obs_flags, cache_flags],
+    )
+    p.add_argument("action", choices=("run", "show", "clear"))
+    p.add_argument("--angles", type=int, default=None, help="geometry to tune (run)")
+    p.add_argument("--channels", type=int, default=None, help="geometry to tune (run)")
+    p.add_argument("--ordering", default="pseudo-hilbert")
+    p.add_argument(
+        "--mode", default="auto", choices=("auto", "predict", "force"),
+        help="search mode for 'run' (see --tune on reconstruct)",
+    )
+    p.add_argument(
+        "--dtype", default=None, choices=("float32", "float64"),
+        help="tune for this compute precision (records are per-dtype)",
+    )
+
     return parser
 
 
@@ -650,6 +784,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "scale": _cmd_scale,
         "cache": _cmd_cache,
+        "tune": _cmd_tune,
     }
     handler = handlers[args.command]
     trace_file = getattr(args, "trace", None)

@@ -22,6 +22,8 @@ import numpy as np
 from ..geometry import ParallelBeamGeometry
 from ..obs import (
     BUFFER_STAGES,
+    DTYPE_FP32_SPMV,
+    DTYPE_FP64_SPMV,
     REGISTRY,
     SPMV_CALLS,
     SPMV_FLOPS,
@@ -32,6 +34,9 @@ from ..obs import (
 )
 from ..ordering import DomainOrdering
 from ..parallel.backend import parse_workers
+from ..precision import ambient_dtype
+from ..precision import compute_dtype as _compute_dtype_for
+from ..precision import parse_dtype
 from ..sparse import (
     BufferedMatrix,
     CSRMatrix,
@@ -40,9 +45,15 @@ from ..sparse import (
     validate_buffer_bytes,
 )
 
-__all__ = ["MemXCTOperator", "OperatorConfig", "KERNELS"]
+__all__ = ["MemXCTOperator", "OperatorConfig", "KERNELS", "TUNE_MODES"]
 
 KERNELS = ("csr", "buffered", "ell")
+
+#: Autotuning modes accepted by ``OperatorConfig.tune`` (besides None):
+#: ``auto`` = predict + short measured trials (persisted), ``predict`` =
+#: perf-model ranking only (no trials), ``force`` = ignore any persisted
+#: record and re-tune.
+TUNE_MODES = ("auto", "predict", "force")
 
 
 @dataclass(frozen=True)
@@ -65,12 +76,28 @@ class OperatorConfig:
         environment variable.  Purely an execution knob — it never
         changes numerics, and it is excluded from plan-cache
         fingerprints and persisted operators.
+    dtype:
+        Compute precision. ``None`` (default) defers to the
+        ``REPRO_DTYPE`` environment variable, else keeps the
+        historical mixed precision: float32 matrix values and kernels,
+        float64 solver state.  ``"float32"`` is the end-to-end single-precision
+        path (solver state included); ``"float64"`` the full
+        double-precision reference path (matrix values stored float64).
+        Folded into plan-cache fingerprints when set, so fp32 and fp64
+        plans never collide.
+    tune:
+        Autotuning mode (``None`` = off, or one of
+        :data:`TUNE_MODES`).  Resolved during preprocessing — the
+        tuner replaces kernel/partition_size/buffer_bytes (and workers,
+        unless explicitly set) with the persisted per-geometry winner.
     """
 
     kernel: str = "buffered"
     partition_size: int = 128
     buffer_bytes: int = 32 * 1024
     workers: int | str | None = None
+    dtype: str | None = None
+    tune: str | None = None
 
     def __post_init__(self) -> None:
         if self.kernel not in KERNELS:
@@ -88,6 +115,19 @@ class OperatorConfig:
         # (env resolution is deferred to operator use).
         if self.workers is not None:
             parse_workers(self.workers)
+        # Normalize dtype aliases once; everything downstream sees only
+        # None / "float32" / "float64" (frozen dataclass -> object.__setattr__).
+        # An unset dtype defers to REPRO_DTYPE, mirroring workers.
+        object.__setattr__(
+            self, "dtype", parse_dtype(self.dtype) or ambient_dtype()
+        )
+        if self.tune is not None:
+            if not isinstance(self.tune, str) or self.tune.lower() not in TUNE_MODES:
+                raise ValueError(
+                    f"invalid tune mode {self.tune!r}: expected one of "
+                    f"{TUNE_MODES} or None"
+                )
+            object.__setattr__(self, "tune", self.tune.lower())
 
 
 class MemXCTOperator:
@@ -217,6 +257,23 @@ class MemXCTOperator:
     def num_pixels(self) -> int:
         return self.matrix.num_cols
 
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """Kernel dtype: float64 only on the opt-in fp64 path."""
+        return _compute_dtype_for(self.config.dtype)
+
+    @property
+    def solve_dtype(self) -> np.dtype:
+        """Solver-state dtype advertised to the iterative solvers.
+
+        ``None`` (mixed) and ``"float64"`` keep the historical float64
+        state; ``"float32"`` drops the state to single precision for
+        the end-to-end fp32 path.
+        """
+        return np.dtype(
+            np.float32 if self.config.dtype == "float32" else np.float64
+        )
+
     def _forward_kernel(self, x32: np.ndarray) -> np.ndarray:
         engine = self._active_engine()
         if engine is not None:
@@ -239,7 +296,7 @@ class MemXCTOperator:
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Forward projection ``y = A x`` in ordered coordinates."""
-        x32 = np.asarray(x, dtype=np.float32)
+        x32 = np.asarray(x, dtype=self.compute_dtype)
         if not REGISTRY.active:  # hot path: one attribute check
             return self._forward_kernel(x32)
         with span("spmv.forward", kernel=self.config.kernel):
@@ -249,7 +306,7 @@ class MemXCTOperator:
 
     def adjoint(self, y: np.ndarray) -> np.ndarray:
         """Backprojection ``x = A^T y`` in ordered coordinates."""
-        y32 = np.asarray(y, dtype=np.float32)
+        y32 = np.asarray(y, dtype=self.compute_dtype)
         if not REGISTRY.active:  # hot path: one attribute check
             return self._adjoint_kernel(y32)
         with span("spmv.adjoint", kernel=self.config.kernel):
@@ -279,7 +336,7 @@ class MemXCTOperator:
         matrix streams are read once per call instead of once per
         slice.  Column ``j`` is bit-identical to ``forward(x[:, j])``.
         """
-        x32 = np.asarray(x, dtype=np.float32)
+        x32 = np.asarray(x, dtype=self.compute_dtype)
         if not REGISTRY.active:  # hot path: one attribute check
             return self._batch_kernel("forward", x32)
         with span("spmv.forward", kernel=self.config.kernel, batch=x32.shape[1]):
@@ -289,7 +346,7 @@ class MemXCTOperator:
 
     def adjoint_batch(self, y: np.ndarray) -> np.ndarray:
         """Batched backprojection ``X = A^T Y`` for an ``(rays, S)`` slab."""
-        y32 = np.asarray(y, dtype=np.float32)
+        y32 = np.asarray(y, dtype=self.compute_dtype)
         if not REGISTRY.active:  # hot path: one attribute check
             return self._batch_kernel("adjoint", y32)
         with span("spmv.adjoint", kernel=self.config.kernel, batch=y32.shape[1]):
@@ -308,6 +365,10 @@ class MemXCTOperator:
         nnz = self.matrix.nnz
         footprint = self.memory_footprint()
         add_count(SPMV_CALLS, batch)
+        add_count(
+            DTYPE_FP64_SPMV if self.compute_dtype == np.float64 else DTYPE_FP32_SPMV,
+            batch,
+        )
         add_count(SPMV_FLOPS, 2 * nnz * batch)
         add_count(SPMV_REGULAR_BYTES, footprint[f"regular_{direction}"])
         add_count(SPMV_IRREGULAR_BYTES, batch * footprint[f"irregular_{direction}"])
@@ -347,12 +408,12 @@ class MemXCTOperator:
     def row_subset_forward(self, x: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Partial forward projection over a row subset (SGD support)."""
         sub, _ = self._subset_operators(rows)
-        return sub.spmv(np.asarray(x, dtype=np.float32))
+        return sub.spmv(np.asarray(x, dtype=self.compute_dtype))
 
     def row_subset_adjoint(self, y_rows: np.ndarray, rows: np.ndarray) -> np.ndarray:
         """Partial backprojection of values on a row subset (SGD support)."""
         _, sub_t = self._subset_operators(rows)
-        return sub_t.spmv(np.asarray(y_rows, dtype=np.float32))
+        return sub_t.spmv(np.asarray(y_rows, dtype=self.compute_dtype))
 
     # -- image-space helpers --------------------------------------------
 
@@ -394,10 +455,12 @@ class MemXCTOperator:
         """
         nnz = self.matrix.nnz
         per_index = 2 if self.config.kernel == "buffered" else 4
-        regular_each = nnz * (4 + per_index)
+        per_value = self.matrix.val.dtype.itemsize
+        per_vector = self.compute_dtype.itemsize
+        regular_each = nnz * (per_value + per_index)
         return {
-            "irregular_forward": self.num_pixels * 4,
-            "irregular_adjoint": self.num_rays * 4,
+            "irregular_forward": self.num_pixels * per_vector,
+            "irregular_adjoint": self.num_rays * per_vector,
             "regular_forward": regular_each,
             "regular_adjoint": regular_each,
             "displ_bytes": 8 * (self.matrix.displ.shape[0] + self.transpose.displ.shape[0]),

@@ -146,6 +146,9 @@ def reconstruct(
     resume=None,
     health=None,
     workers: int | str | None = None,
+    dtype: str | None = None,
+    tune: str | None = None,
+    cache=None,
     **solver_kwargs,
 ) -> ReconstructionResult:
     """Reconstruct a tomogram from a 2D sinogram.
@@ -198,6 +201,20 @@ def reconstruct(
         Overrides ``config.workers`` and applies to a passed-in
         ``operator`` too.  Execution-only: the reconstruction is
         bit-identical across worker counts.
+    dtype:
+        Compute precision: ``None`` (default mixed precision),
+        ``"float32"`` (end-to-end single precision — half the memory
+        traffic, see docs/autotuning.md for the error contract) or
+        ``"float64"`` (full double-precision reference).  Overrides
+        ``config.dtype``; applies when preprocessing runs here (a
+        passed-in ``operator`` keeps its own precision).
+    tune:
+        Autotuning mode (``"auto"``, ``"predict"``, ``"force"``) — see
+        :mod:`repro.autotune`.  Overrides ``config.tune``; like
+        ``dtype`` it applies when preprocessing runs here.
+    cache:
+        Plan-cache selector forwarded to :func:`preprocess` (also
+        where tuning records persist).
     solver_kwargs:
         Extra arguments for the chosen solver.
     """
@@ -219,10 +236,19 @@ def reconstruct(
         solver, checkpoint, checkpoint_every, resume, health
     )
 
+    overrides = {}
     if workers is not None:
-        config = replace(config or OperatorConfig(), workers=workers)
+        overrides["workers"] = workers
+    if dtype is not None:
+        overrides["dtype"] = dtype
+    if tune is not None:
+        overrides["tune"] = tune
+    if overrides:
+        config = replace(config or OperatorConfig(), **overrides)
     if operator is None:
-        operator, preprocess_report = preprocess(geometry, config=config, ordering=ordering)
+        operator, preprocess_report = preprocess(
+            geometry, config=config, ordering=ordering, cache=cache
+        )
     else:
         if workers is not None:
             operator.set_workers(workers)

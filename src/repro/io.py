@@ -109,10 +109,12 @@ def _ell_payload(prefix: str, layout: ELLPartitioned) -> dict:
         if layout.val_slabs
         else np.empty(0, dtype=np.float32)
     )
+    # flat_val keeps the slabs' own dtype: an fp64 operator's ELL
+    # layout must not be silently rounded to float32 on save.
     return {
         f"{prefix}widths": layout.widths,
         f"{prefix}ind": flat_ind.astype(np.int32),
-        f"{prefix}val": flat_val.astype(np.float32),
+        f"{prefix}val": flat_val,
     }
 
 
@@ -182,6 +184,9 @@ def save_operator(
         "kernel": operator.config.kernel,
         "partition_size": operator.config.partition_size,
         "buffer_bytes": operator.config.buffer_bytes,
+        # Empty string encodes "no explicit dtype" (npz has no None);
+        # files written before the dtype path simply lack the key.
+        "dtype": operator.config.dtype or "",
     }
     if operator.buffered_forward is not None:
         payload.update(_buffered_payload("bf_", operator.buffered_forward))
@@ -237,11 +242,14 @@ def _operator_from_npz(data) -> MemXCTOperator:
     matrix = CSRMatrix(
         displ=data["displ"], ind=data["ind"], val=data["val"],
         num_cols=grid.n * grid.n,
+        value_dtype=data["val"].dtype.name,
     )
+    saved_dtype = str(data["dtype"][()]) if "dtype" in data else ""
     config = OperatorConfig(
         kernel=str(data["kernel"][()]),
         partition_size=int(data["partition_size"]),
         buffer_bytes=int(data["buffer_bytes"]),
+        dtype=saved_dtype or None,
     )
 
     buffered_forward = buffered_adjoint = None
@@ -250,6 +258,7 @@ def _operator_from_npz(data) -> MemXCTOperator:
         transpose = CSRMatrix(
             displ=data["t_displ"], ind=data["t_ind"], val=data["t_val"],
             num_cols=matrix.num_rows,
+            value_dtype=data["t_val"].dtype.name,
         )
         psize = config.partition_size
         if "bf_partdispl" in data:

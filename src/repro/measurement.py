@@ -62,23 +62,37 @@ def normalize_counts(
     flat: np.ndarray,
     dark: np.ndarray,
     attenuation_scale: float = 1.0,
+    dtype=None,
 ) -> np.ndarray:
     """Flat/dark-field normalization: counts -> line integrals.
 
     ``sinogram = -log((counts - dark) / (flat - dark)) / scale`` with
     transmissions clipped into ``(0, 1]`` so dead pixels and noise
     overshoots stay finite.
+
+    The arithmetic runs in float64 for stability, but the result comes
+    back in ``dtype`` when given, else in the promoted dtype of the
+    inputs — float32 frames stay float32 instead of silently doubling
+    the sinogram's memory on the way to an fp32 reconstruction.
+    (Integer count frames still promote to float64.)
     """
-    counts = np.asarray(counts, dtype=np.float64)
-    flat = np.asarray(flat, dtype=np.float64)
-    dark = np.asarray(dark, dtype=np.float64)
+    counts_in = np.asarray(counts)
+    flat_in = np.asarray(flat)
+    dark_in = np.asarray(dark)
+    if dtype is not None:
+        out_dtype = np.dtype(dtype)
+    else:
+        out_dtype = np.result_type(counts_in, flat_in, dark_in, np.float32)
+    counts = counts_in.astype(np.float64, copy=False)
+    flat = flat_in.astype(np.float64, copy=False)
+    dark = dark_in.astype(np.float64, copy=False)
     if counts.shape != flat.shape or counts.shape != dark.shape:
         raise ValueError("counts, flat, dark must share a shape")
     if attenuation_scale <= 0:
         raise ValueError(f"attenuation scale must be positive, got {attenuation_scale}")
     beam = np.maximum(flat - dark, 1.0)
     transmission = np.clip((counts - dark) / beam, 1.0 / beam.max() / 10.0, 1.0)
-    return -np.log(transmission) / attenuation_scale
+    return (-np.log(transmission) / attenuation_scale).astype(out_dtype, copy=False)
 
 
 def estimate_center_of_rotation(sinogram: np.ndarray) -> float:

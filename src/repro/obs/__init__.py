@@ -31,6 +31,10 @@ See ``docs/observability.md`` for the full guide.
 """
 
 from .counters import (
+    AUTOTUNE_CANDIDATES,
+    AUTOTUNE_HITS,
+    AUTOTUNE_MISSES,
+    AUTOTUNE_TRIALS,
     BUFFER_STAGES,
     CACHE_BYTES_READ,
     CACHE_BYTES_WRITTEN,
@@ -57,6 +61,8 @@ from .counters import (
     PIPELINE_RESUMED_SLICES,
     PIPELINE_SLICES,
     SOLVER_ITERATIONS,
+    DTYPE_FP32_SPMV,
+    DTYPE_FP64_SPMV,
     SPMV_CALLS,
     SPMV_FLOPS,
     SPMV_IRREGULAR_BYTES,
@@ -69,6 +75,10 @@ from .registry import REGISTRY, Capture, Registry, add_count, capture
 from .spans import SpanRecord, emit_span, span, traced
 
 __all__ = [
+    "AUTOTUNE_CANDIDATES",
+    "AUTOTUNE_HITS",
+    "AUTOTUNE_MISSES",
+    "AUTOTUNE_TRIALS",
     "BUFFER_STAGES",
     "CACHE_BYTES_READ",
     "CACHE_BYTES_WRITTEN",
@@ -80,6 +90,8 @@ __all__ = [
     "CHECKPOINT_SAVES",
     "COMM_BYTES",
     "COMM_MESSAGES",
+    "DTYPE_FP32_SPMV",
+    "DTYPE_FP64_SPMV",
     "FAULT_CORRUPTIONS",
     "FAULT_CRASHES",
     "FAULT_DELAYS",

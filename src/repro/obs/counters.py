@@ -31,6 +31,12 @@ __all__ = [
     "CACHE_BYTES_READ",
     "CACHE_BYTES_WRITTEN",
     "CACHE_EVICTIONS",
+    "AUTOTUNE_HITS",
+    "AUTOTUNE_MISSES",
+    "AUTOTUNE_CANDIDATES",
+    "AUTOTUNE_TRIALS",
+    "DTYPE_FP32_SPMV",
+    "DTYPE_FP64_SPMV",
     "FAULT_DROPS",
     "FAULT_CORRUPTIONS",
     "FAULT_DELAYS",
@@ -110,6 +116,18 @@ PARALLEL_TASKS = "parallel.tasks"
 PARALLEL_DISPATCHES = "parallel.dispatches"
 #: Bytes placed in multiprocessing shared memory by the process backend.
 PARALLEL_SHM_BYTES = "parallel.shm_bytes"
+#: Autotuning requests satisfied by a persisted record (warm lookup).
+AUTOTUNE_HITS = "autotune.hits"
+#: Autotuning requests that had to run the search.
+AUTOTUNE_MISSES = "autotune.misses"
+#: Configurations scored by the perf-model/cachesim prediction stage.
+AUTOTUNE_CANDIDATES = "autotune.candidates"
+#: Measured trials run on the prediction stage's top candidates.
+AUTOTUNE_TRIALS = "autotune.trials"
+#: SpMV kernel applications computed in float32 (default and fp32 paths).
+DTYPE_FP32_SPMV = "dtype.fp32_spmv"
+#: SpMV kernel applications computed in float64 (opt-in fp64 path).
+DTYPE_FP64_SPMV = "dtype.fp64_spmv"
 
 #: Default unit per canonical counter name.
 CANONICAL_UNITS = {
@@ -143,6 +161,12 @@ CANONICAL_UNITS = {
     PARALLEL_TASKS: "task",
     PARALLEL_DISPATCHES: "dispatch",
     PARALLEL_SHM_BYTES: "byte",
+    AUTOTUNE_HITS: "hit",
+    AUTOTUNE_MISSES: "miss",
+    AUTOTUNE_CANDIDATES: "candidate",
+    AUTOTUNE_TRIALS: "trial",
+    DTYPE_FP32_SPMV: "call",
+    DTYPE_FP64_SPMV: "call",
 }
 
 

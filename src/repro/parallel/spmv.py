@@ -147,6 +147,9 @@ def _rebuild_layout(kind: str, arrays: dict[str, np.ndarray], meta: dict):
             ind=arrays["ind"],
             val=arrays["val"],
             num_cols=meta["num_cols"],
+            # Without this an fp64 operator's values would be silently
+            # downcast to the float32 default on worker-side rebuild.
+            value_dtype=arrays["val"].dtype.name,
         )
     if kind == "buffered":
         return BufferedMatrix(

@@ -37,7 +37,7 @@ from ..obs import (
 )
 from ..parallel.backend import make_backend, parse_workers
 from ..resilience.checkpoint import CheckpointError, CheckpointManager, SolverCheckpoint
-from ..solvers import cgls, cgls_batch, mlem, mlem_batch, sirt, sirt_batch
+from ..solvers import cgls, cgls_batch, mlem, mlem_batch, sirt, sirt_batch, solver_dtype
 from .stages import Stage, StageContext, default_stages
 
 __all__ = [
@@ -168,6 +168,8 @@ def reconstruct_stack(
     resume: bool = False,
     max_chunks: int | None = None,
     workers: int | str | None = None,
+    dtype: str | None = None,
+    tune: str | None = None,
     **solver_kwargs,
 ) -> StackResult:
     """Reconstruct a 3D stack of sinograms through the staged pipeline.
@@ -226,6 +228,13 @@ def reconstruct_stack(
         fans independent slice solves out to threads with the operator
         pinned serial, so the shared pools are never entered twice.
         Either way the volume is bit-identical to a serial run.
+    dtype, tune:
+        Compute precision and autotuning mode, folded into ``config``
+        exactly as in :func:`repro.core.reconstruct` — they apply when
+        preprocessing runs here (a passed-in ``operator`` keeps its own
+        precision and layout).  With ``dtype="float32"`` the batched
+        right-hand sides and solver state run in single precision; the
+        assembled volume stays float64.
     """
     t_start = time.perf_counter()
     raw_stack = np.asarray(raw_stack)
@@ -261,9 +270,16 @@ def reconstruct_stack(
     if resume and manager is None:
         raise ValueError("resume=True requires a checkpoint")
 
+    overrides = {}
     if workers is not None:
-        config = replace(config or OperatorConfig(), workers=workers)
-        if operator is not None:
+        overrides["workers"] = workers
+    if dtype is not None:
+        overrides["dtype"] = dtype
+    if tune is not None:
+        overrides["tune"] = tune
+    if overrides:
+        config = replace(config or OperatorConfig(), **overrides)
+        if workers is not None and operator is not None:
             operator.set_workers(workers)
     # Slice-level fan-out for the looped path is always thread-based:
     # each solve would otherwise pickle solver state into a process.
@@ -340,10 +356,13 @@ def reconstruct_stack(
                 for stage in stages:
                     chunk = stage(chunk, ctx)
 
+                # Right-hand sides go straight to the operator's solve
+                # precision: stacking to float64 first would silently
+                # double the chunk's memory on the fp32 path.
                 Y = np.stack(
                     [operator.sinogram_to_ordered(chunk[k]) for k in range(chunk.shape[0])],
                     axis=1,
-                ).astype(np.float64)
+                ).astype(solver_dtype(operator))
                 if solver == "mlem":
                     # MLEM models counts; conditioning noise can leave
                     # slightly negative line integrals — clip at zero.

@@ -6,6 +6,7 @@ from .base import (
     SolveResult,
     observe_health,
     resolve_resume,
+    solver_dtype,
 )
 from .batched import (
     BatchSolveResult,
@@ -47,4 +48,5 @@ __all__ = [
     "resolve_resume",
     "sgd",
     "sirt",
+    "solver_dtype",
 ]

@@ -15,6 +15,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from ..obs import SOLVER_ITERATIONS, add_count, span
+from ..precision import solver_dtype
 from ..resilience.checkpoint import CheckpointError, CheckpointManager, SolverCheckpoint
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "iteration_span",
     "resolve_resume",
     "observe_health",
+    "solver_dtype",
 ]
 
 
@@ -118,9 +120,15 @@ class MatrixOperator:
     custom geometries, test systems, externally supplied matrices.
     The transpose is built with the scan-based (locality-preserving)
     transposition when not supplied.
+
+    ``dtype`` mirrors ``OperatorConfig.dtype``: ``None`` keeps the
+    historical mixed precision (float32 kernels, float64 solver state),
+    ``"float32"``/``"float64"`` select an end-to-end precision (the
+    solvers read it back through :func:`repro.precision.solver_dtype`).
     """
 
-    def __init__(self, matrix, transpose=None):
+    def __init__(self, matrix, transpose=None, dtype=None):
+        from ..precision import compute_dtype, parse_dtype
         from ..sparse import scan_transpose  # local import avoids a cycle
 
         self.matrix = matrix
@@ -130,6 +138,11 @@ class MatrixOperator:
                 f"transpose shape {self.transpose.shape} does not match "
                 f"matrix shape {matrix.shape}"
             )
+        self.dtype = parse_dtype(dtype)
+        self.compute_dtype = compute_dtype(self.dtype)
+        self.solve_dtype = np.dtype(
+            np.float32 if self.dtype == "float32" else np.float64
+        )
 
     @property
     def num_rays(self) -> int:
@@ -140,18 +153,18 @@ class MatrixOperator:
         return self.matrix.shape[1]
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        return self.matrix.spmv(np.asarray(x, dtype=np.float32))
+        return self.matrix.spmv(np.asarray(x, dtype=self.compute_dtype))
 
     def adjoint(self, y: np.ndarray) -> np.ndarray:
-        return self.transpose.spmv(np.asarray(y, dtype=np.float32))
+        return self.transpose.spmv(np.asarray(y, dtype=self.compute_dtype))
 
     def forward_batch(self, x: np.ndarray) -> np.ndarray:
         """Multi-RHS forward: ``Y = A X`` for an ``(num_pixels, S)`` slab."""
-        return self.matrix.spmv_batch(np.asarray(x, dtype=np.float32))
+        return self.matrix.spmv_batch(np.asarray(x, dtype=self.compute_dtype))
 
     def adjoint_batch(self, y: np.ndarray) -> np.ndarray:
         """Multi-RHS adjoint: ``X = A^T Y`` for an ``(num_rays, S)`` slab."""
-        return self.transpose.spmv_batch(np.asarray(y, dtype=np.float32))
+        return self.transpose.spmv_batch(np.asarray(y, dtype=self.compute_dtype))
 
     def row_sums(self) -> np.ndarray:
         return self.matrix.row_sums()

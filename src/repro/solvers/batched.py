@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..obs import SOLVER_ITERATIONS, add_count, span
-from .base import ProjectionOperator, SolveResult, solve_span
+from .base import ProjectionOperator, SolveResult, solve_span, solver_dtype
 
 __all__ = [
     "BatchSolveResult",
@@ -138,8 +138,8 @@ class _History:
         return np.asarray(self.residual), np.asarray(self.solution)
 
 
-def _slab64(y: np.ndarray, num_rows: int, what: str) -> np.ndarray:
-    slab = np.asarray(y, dtype=np.float64)
+def _slab(y: np.ndarray, num_rows: int, what: str, dtype=np.float64) -> np.ndarray:
+    slab = np.asarray(y, dtype=dtype)
     if slab.ndim != 2:
         raise ValueError(f"{what} must be an (N, S) slab, got shape {slab.shape}")
     if slab.shape[0] != num_rows:
@@ -173,17 +173,18 @@ def cgls_batch(
     reductions — and freezes independently when its per-column gradient
     tolerance ``||A^T r_j|| <= tolerance * ||A^T y_j||`` fires.
     """
-    Y = _slab64(Y, op.num_rays, "measurement slab")
+    work = solver_dtype(op)
+    Y = _slab(Y, op.num_rays, "measurement slab", work)
     S = Y.shape[1]
 
     with solve_span("cg", num_iterations=num_iterations, batch=S):
         X = (
-            np.zeros((op.num_pixels, S), dtype=np.float64)
+            np.zeros((op.num_pixels, S), dtype=work)
             if X0 is None
-            else _slab64(X0, op.num_pixels, "initial slab").copy()
+            else _slab(X0, op.num_pixels, "initial slab", work).copy()
         )
-        R = Y - np.asarray(forward_batch(op, X), dtype=np.float64)
-        G = np.asarray(adjoint_batch(op, R), dtype=np.float64)
+        R = Y - np.asarray(forward_batch(op, X), dtype=work)
+        G = np.asarray(adjoint_batch(op, R), dtype=work)
         P = G.copy()
         gamma = np.empty(S, dtype=np.float64)
         _column_dots(G, np.arange(S), gamma)
@@ -205,7 +206,7 @@ def cgls_batch(
             if not active.any():
                 break
             with _batch_iteration("cg", it, int(active.sum()), S):
-                Q = np.asarray(forward_batch(op, P), dtype=np.float64)
+                Q = np.asarray(forward_batch(op, P), dtype=work)
                 qq = np.zeros(S, dtype=np.float64)
                 act = np.flatnonzero(active)
                 _column_dots(Q, act, qq)
@@ -221,16 +222,20 @@ def cgls_batch(
                 if act.shape[0] == 0:
                     break
 
-                alpha = gamma[act] / qq[act]
+                # The step scalars are computed in float64 (matching the
+                # single-slice solver's python-float arithmetic) and then
+                # cast to the work dtype, so the slab updates below use
+                # exactly the scalars the per-column solver would.
+                alpha = (gamma[act] / qq[act]).astype(work)
                 X[:, act] += alpha * P[:, act]
                 R[:, act] -= alpha * Q[:, act]
                 Gact = np.asarray(
                     adjoint_batch(op, np.ascontiguousarray(R[:, act])),
-                    dtype=np.float64,
+                    dtype=work,
                 )
                 gamma_new = np.empty(act.shape[0], dtype=np.float64)
                 _column_dots(Gact, np.arange(act.shape[0]), gamma_new)
-                beta = gamma_new / gamma[act]
+                beta = (gamma_new / gamma[act]).astype(work)
                 P[:, act] = Gact + beta * P[:, act]
                 gamma[act] = gamma_new
 
@@ -268,7 +273,7 @@ def cgls_batch(
 
 
 def _safe_reciprocal(v: np.ndarray) -> np.ndarray:
-    out = np.zeros_like(v, dtype=np.float64)
+    out = np.zeros_like(v)  # preserves the solver's work dtype
     nonzero = v != 0
     out[nonzero] = 1.0 / v[nonzero]
     return out
@@ -291,25 +296,26 @@ def sirt_batch(
     :func:`repro.solvers.sirt`.  ``tolerance > 0`` freezes a column
     once its relative residual ``||r_j|| <= tolerance * ||y_j||``.
     """
-    Y = _slab64(Y, op.num_rays, "measurement slab")
+    work = solver_dtype(op)
+    Y = _slab(Y, op.num_rays, "measurement slab", work)
     S = Y.shape[1]
 
     X = (
-        np.zeros((op.num_pixels, S), dtype=np.float64)
+        np.zeros((op.num_pixels, S), dtype=work)
         if X0 is None
-        else _slab64(X0, op.num_pixels, "initial slab").copy()
+        else _slab(X0, op.num_pixels, "initial slab", work).copy()
     )
 
     if hasattr(op, "row_sums") and hasattr(op, "col_sums"):
-        row_sums = np.asarray(op.row_sums(), dtype=np.float64)
-        col_sums = np.asarray(op.col_sums(), dtype=np.float64)
+        row_sums = np.asarray(op.row_sums(), dtype=work)
+        col_sums = np.asarray(op.col_sums(), dtype=work)
     else:
-        row_sums = np.asarray(op.forward(np.ones(op.num_pixels)), dtype=np.float64)
-        col_sums = np.asarray(op.adjoint(np.ones(op.num_rays)), dtype=np.float64)
+        row_sums = np.asarray(op.forward(np.ones(op.num_pixels)), dtype=work)
+        col_sums = np.asarray(op.adjoint(np.ones(op.num_rays)), dtype=work)
     r_inv = _safe_reciprocal(row_sums)[:, None]
     c_inv = _safe_reciprocal(col_sums)[:, None]
 
-    Resid = Y - np.asarray(forward_batch(op, X), dtype=np.float64)
+    Resid = Y - np.asarray(forward_batch(op, X), dtype=work)
     ynorm = _column_norms(Y)
 
     iterations = np.zeros(S, dtype=np.int64)
@@ -324,7 +330,7 @@ def sirt_batch(
                 break
             with _batch_iteration("sirt", it, int(active.sum()), S):
                 update = c_inv * np.asarray(
-                    adjoint_batch(op, r_inv * Resid), dtype=np.float64
+                    adjoint_batch(op, r_inv * Resid), dtype=work
                 )
                 act = np.flatnonzero(active)
                 X[:, act] += relaxation * update[:, act]
@@ -334,7 +340,7 @@ def sirt_batch(
                 # Frozen columns recompute to the same bits (the kernel
                 # is deterministic on unchanged inputs), so the full
                 # batched forward stays per-column exact.
-                Resid = Y - np.asarray(forward_batch(op, X), dtype=np.float64)
+                Resid = Y - np.asarray(forward_batch(op, X), dtype=work)
 
                 iterations[act] = it + 1
                 rnorm = _column_norms(Resid)
@@ -378,24 +384,25 @@ def mlem_batch(
     :func:`repro.solvers.mlem`; ``tolerance > 0`` freezes a column at
     relative residual ``||y_j - A x_j|| <= tolerance * ||y_j||``.
     """
-    Y = _slab64(Y, op.num_rays, "measurement slab")
+    work = solver_dtype(op)
+    Y = _slab(Y, op.num_rays, "measurement slab", work)
     if (Y < 0).any():
         raise ValueError("MLEM requires non-negative measurements")
     S = Y.shape[1]
 
     if X0 is None:
-        X = np.ones((op.num_pixels, S), dtype=np.float64)
+        X = np.ones((op.num_pixels, S), dtype=work)
     else:
-        X = _slab64(X0, op.num_pixels, "initial slab").copy()
+        X = _slab(X0, op.num_pixels, "initial slab", work).copy()
         if (X <= 0).any():
             raise ValueError("MLEM initial estimate must be strictly positive")
 
-    sensitivity = np.asarray(op.adjoint(np.ones(op.num_rays)), dtype=np.float64)
+    sensitivity = np.asarray(op.adjoint(np.ones(op.num_rays)), dtype=work)
     support = np.flatnonzero(sensitivity > _EPS)
     outside = np.flatnonzero(sensitivity <= _EPS)
     sens_col = sensitivity[support][:, None]
 
-    Fwd = np.asarray(forward_batch(op, X), dtype=np.float64)
+    Fwd = np.asarray(forward_batch(op, X), dtype=work)
     ynorm = _column_norms(Y)
 
     iterations = np.zeros(S, dtype=np.int64)
@@ -413,12 +420,12 @@ def mlem_batch(
                 Ratio = np.zeros_like(Y)
                 positive = Fwd > _EPS
                 Ratio[positive] = Y[positive] / Fwd[positive]
-                Back = np.asarray(adjoint_batch(op, Ratio), dtype=np.float64)
+                Back = np.asarray(adjoint_batch(op, Ratio), dtype=work)
                 X[np.ix_(support, act)] *= (Back[support] / sens_col)[:, act]
                 if outside.shape[0]:
                     X[np.ix_(outside, act)] = 0.0
 
-                Fwd = np.asarray(forward_batch(op, X), dtype=np.float64)
+                Fwd = np.asarray(forward_batch(op, X), dtype=work)
                 iterations[act] = it + 1
                 rnorm = _column_norms(Y - Fwd)
                 history.record(active, rnorm, _column_norms(X))

@@ -34,6 +34,7 @@ from .base import (
     observe_health,
     resolve_resume,
     solve_span,
+    solver_dtype,
 )
 
 __all__ = ["cgls"]
@@ -81,7 +82,10 @@ def cgls(
     health:
         Optional :class:`~repro.resilience.HealthMonitor`.
     """
-    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    # Solver state lives in the operator's advertised precision:
+    # float64 historically, float32 on the end-to-end fp32 path.
+    work = solver_dtype(op)
+    y = np.asarray(y, dtype=work).reshape(-1)
     if y.shape[0] != op.num_rays:
         raise ValueError(f"sinogram has {y.shape[0]} entries, expected {op.num_rays}")
 
@@ -89,9 +93,9 @@ def cgls(
 
     with solve_span("cg", num_iterations=num_iterations):
         if restored is not None:
-            x = np.array(restored.arrays["x"], dtype=np.float64)
-            r = np.array(restored.arrays["r"], dtype=np.float64)
-            p = np.array(restored.arrays["p"], dtype=np.float64)
+            x = np.array(restored.arrays["x"], dtype=work)
+            r = np.array(restored.arrays["r"], dtype=work)
+            p = np.array(restored.arrays["p"], dtype=work)
             gamma = float(restored.scalars["gamma"])
             gamma0 = float(restored.scalars["gamma0"])
             damping = float(restored.scalars.get("damping", 1.0))
@@ -101,12 +105,12 @@ def cgls(
             result.solution_norms = list(restored.solution_norms)
         else:
             x = (
-                np.zeros(op.num_pixels, dtype=np.float64)
+                np.zeros(op.num_pixels, dtype=work)
                 if x0 is None
-                else np.asarray(x0, dtype=np.float64).copy()
+                else np.asarray(x0, dtype=work).copy()
             )
-            r = y - np.asarray(op.forward(x), dtype=np.float64)
-            s = np.asarray(op.adjoint(r), dtype=np.float64)
+            r = y - np.asarray(op.forward(x), dtype=work)
+            s = np.asarray(op.adjoint(r), dtype=work)
             p = s.copy()
             gamma = float(s @ s)
             gamma0 = gamma
@@ -131,7 +135,7 @@ def cgls(
                 result.stop_reason = "exact solution reached"
                 break
             with iteration_span("cg", it):
-                q = np.asarray(op.forward(p), dtype=np.float64)
+                q = np.asarray(op.forward(p), dtype=work)
                 qq = float(q @ q)
                 if qq == 0.0:
                     # p in null(A) can only follow from gamma == 0 in
@@ -143,7 +147,7 @@ def cgls(
                 alpha = damping * (gamma / qq)
                 x += alpha * p
                 r -= alpha * q
-                s = np.asarray(op.adjoint(r), dtype=np.float64)
+                s = np.asarray(op.adjoint(r), dtype=work)
                 gamma_new = float(s @ s)
                 beta = gamma_new / gamma
                 p = s + beta * p
@@ -181,9 +185,9 @@ def cgls(
                     # Damped restart from the snapshot: restore the
                     # iterate and residual, rebuild the search direction
                     # as steepest descent, and halve the step scale.
-                    x = np.array(last.arrays["x"], dtype=np.float64)
-                    r = np.array(last.arrays["r"], dtype=np.float64)
-                    s = np.asarray(op.adjoint(r), dtype=np.float64)
+                    x = np.array(last.arrays["x"], dtype=work)
+                    r = np.array(last.arrays["r"], dtype=work)
+                    s = np.asarray(op.adjoint(r), dtype=work)
                     p = s.copy()
                     gamma = float(s @ s)
                     damping *= 0.5
@@ -196,7 +200,7 @@ def cgls(
                 if last is not None:
                     # Abort returns the last healthy snapshot, not the
                     # poisoned iterate.
-                    x = np.array(last.arrays["x"], dtype=np.float64)
+                    x = np.array(last.arrays["x"], dtype=work)
                     result.x = x
                     result.iterations = last.iteration
                     result.residual_norms = list(last.residual_norms)

@@ -26,6 +26,7 @@ from .base import (
     observe_health,
     resolve_resume,
     solve_span,
+    solver_dtype,
 )
 
 __all__ = ["mlem"]
@@ -63,7 +64,8 @@ def mlem(
         snapshot once and otherwise stops early with a truthful
         ``stop_reason``.
     """
-    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    work = solver_dtype(op)
+    y = np.asarray(y, dtype=work).reshape(-1)
     if y.shape[0] != op.num_rays:
         raise ValueError(f"y has {y.shape[0]} entries, expected {op.num_rays}")
     if (y < 0).any():
@@ -71,22 +73,22 @@ def mlem(
 
     restored = resolve_resume(resume, "mlem")
     if restored is not None:
-        x = np.array(restored.arrays["x"], dtype=np.float64)
+        x = np.array(restored.arrays["x"], dtype=work)
         start_iteration = restored.iteration
     else:
         if x0 is None:
-            x = np.ones(op.num_pixels, dtype=np.float64)
+            x = np.ones(op.num_pixels, dtype=work)
         else:
-            x = np.asarray(x0, dtype=np.float64).copy()
+            x = np.asarray(x0, dtype=work).copy()
             if (x <= 0).any():
                 raise ValueError("MLEM initial estimate must be strictly positive")
         start_iteration = 0
 
-    sensitivity = np.asarray(op.adjoint(np.ones(op.num_rays)), dtype=np.float64)
+    sensitivity = np.asarray(op.adjoint(np.ones(op.num_rays)), dtype=work)
     support = sensitivity > _EPS
 
     result = SolveResult(x=x, iterations=start_iteration)
-    forward = np.asarray(op.forward(x), dtype=np.float64)
+    forward = np.asarray(op.forward(x), dtype=work)
     if restored is not None:
         result.residual_norms = list(restored.residual_norms)
         result.solution_norms = list(restored.solution_norms)
@@ -100,11 +102,11 @@ def mlem(
                 ratio = np.zeros_like(y)
                 positive = forward > _EPS
                 ratio[positive] = y[positive] / forward[positive]
-                back = np.asarray(op.adjoint(ratio), dtype=np.float64)
+                back = np.asarray(op.adjoint(ratio), dtype=work)
                 x[support] *= back[support] / sensitivity[support]
                 x[~support] = 0.0
 
-                forward = np.asarray(op.forward(x), dtype=np.float64)
+                forward = np.asarray(op.forward(x), dtype=work)
                 result.iterations = it + 1
                 rnorm = float(np.linalg.norm(y - forward))
                 result.residual_norms.append(rnorm)
@@ -129,7 +131,7 @@ def mlem(
             if action != "ok":
                 last = checkpoint.last if checkpoint is not None else None
                 if last is not None and np.all(np.isfinite(last.arrays["x"])):
-                    x = np.array(last.arrays["x"], dtype=np.float64)
+                    x = np.array(last.arrays["x"], dtype=work)
                     result.x = x
                     result.iterations = last.iteration
                     result.residual_norms = list(last.residual_norms)

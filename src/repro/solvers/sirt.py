@@ -22,14 +22,19 @@ from .base import (
     observe_health,
     resolve_resume,
     solve_span,
+    solver_dtype,
 )
 
 __all__ = ["sirt"]
 
 
 def _safe_reciprocal(v: np.ndarray) -> np.ndarray:
-    """1/v with zeros mapped to zero (rays/pixels outside the support)."""
-    out = np.zeros_like(v, dtype=np.float64)
+    """1/v with zeros mapped to zero (rays/pixels outside the support).
+
+    Preserves the input dtype — the fp32 path must not smuggle float64
+    scaling vectors back into the recurrence.
+    """
+    out = np.zeros_like(v)
     nonzero = v != 0
     out[nonzero] = 1.0 / v[nonzero]
     return out
@@ -77,34 +82,35 @@ def sirt(
         Optional :class:`~repro.resilience.HealthMonitor`; rollback
         restores the snapshot and halves the relaxation.
     """
-    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    work = solver_dtype(op)
+    y = np.asarray(y, dtype=work).reshape(-1)
     if y.shape[0] != op.num_rays:
         raise ValueError(f"sinogram has {y.shape[0]} entries, expected {op.num_rays}")
 
     restored = resolve_resume(resume, "sirt")
     if restored is not None:
-        x = np.array(restored.arrays["x"], dtype=np.float64)
+        x = np.array(restored.arrays["x"], dtype=work)
         relaxation = float(restored.scalars.get("relaxation", relaxation))
         start_iteration = restored.iteration
     else:
         x = (
-            np.zeros(op.num_pixels, dtype=np.float64)
+            np.zeros(op.num_pixels, dtype=work)
             if x0 is None
-            else np.asarray(x0, dtype=np.float64).copy()
+            else np.asarray(x0, dtype=work).copy()
         )
         start_iteration = 0
 
     if hasattr(op, "row_sums") and hasattr(op, "col_sums"):
-        row_sums = np.asarray(op.row_sums(), dtype=np.float64)
-        col_sums = np.asarray(op.col_sums(), dtype=np.float64)
+        row_sums = np.asarray(op.row_sums(), dtype=work)
+        col_sums = np.asarray(op.col_sums(), dtype=work)
     else:
-        row_sums = np.asarray(op.forward(np.ones(op.num_pixels)), dtype=np.float64)
-        col_sums = np.asarray(op.adjoint(np.ones(op.num_rays)), dtype=np.float64)
+        row_sums = np.asarray(op.forward(np.ones(op.num_pixels)), dtype=work)
+        col_sums = np.asarray(op.adjoint(np.ones(op.num_rays)), dtype=work)
     r_inv = _safe_reciprocal(row_sums)
     c_inv = _safe_reciprocal(col_sums)
 
     result = SolveResult(x=x, iterations=start_iteration)
-    residual = y - np.asarray(op.forward(x), dtype=np.float64)
+    residual = y - np.asarray(op.forward(x), dtype=work)
     if restored is not None:
         result.residual_norms = list(restored.residual_norms)
         result.solution_norms = list(restored.solution_norms)
@@ -116,12 +122,12 @@ def sirt(
         for it in range(start_iteration, num_iterations):
             with iteration_span("sirt", it):
                 update = c_inv * np.asarray(
-                    op.adjoint(r_inv * residual), dtype=np.float64
+                    op.adjoint(r_inv * residual), dtype=work
                 )
                 x += relaxation * update
                 if nonnegativity:
                     np.maximum(x, 0.0, out=x)
-                residual = y - np.asarray(op.forward(x), dtype=np.float64)
+                residual = y - np.asarray(op.forward(x), dtype=work)
 
                 result.iterations = it + 1
                 rnorm = float(np.linalg.norm(residual))
@@ -148,8 +154,8 @@ def sirt(
             if action != "ok":
                 last = checkpoint.last if checkpoint is not None else None
                 if action == "rollback" and last is not None:
-                    x = np.array(last.arrays["x"], dtype=np.float64)
-                    residual = y - np.asarray(op.forward(x), dtype=np.float64)
+                    x = np.array(last.arrays["x"], dtype=work)
+                    residual = y - np.asarray(op.forward(x), dtype=work)
                     relaxation *= 0.5
                     result.x = x
                     result.iterations = last.iteration
@@ -160,7 +166,7 @@ def sirt(
                 if last is not None:
                     # Abort returns the last healthy snapshot, not the
                     # poisoned iterate.
-                    x = np.array(last.arrays["x"], dtype=np.float64)
+                    x = np.array(last.arrays["x"], dtype=work)
                     result.x = x
                     result.iterations = last.iteration
                     result.residual_norms = list(last.residual_norms)

@@ -86,7 +86,7 @@ class BufferedMatrix:
     map: np.ndarray  # (sum stagenz,) int32 global input indices
     displ: np.ndarray  # (numstages * partsize + 1,) nonzero offsets
     ind: np.ndarray  # (nnz,) uint16 buffer-local indices
-    val: np.ndarray  # (nnz,) float32 values
+    val: np.ndarray  # (nnz,) values (float32, or float64 on the fp64 path)
     num_cols: int
 
     # -- properties ----------------------------------------------------
@@ -140,8 +140,12 @@ class BufferedMatrix:
         return int(self.map.shape[0]) * 4
 
     def regular_bytes_per_fma(self) -> float:
-        """Regular-stream bytes per FMA: 4 B value + 2 B uint16 index."""
-        return 6.0
+        """Regular-stream bytes per FMA: value bytes + 2 B uint16 index.
+
+        6 B for the default float32 values (paper Section 3.3.5), 10 B
+        on the opt-in float64 path.
+        """
+        return float(self.val.dtype.itemsize + 2)
 
     # -- kernels -------------------------------------------------------
 
@@ -364,6 +368,8 @@ def build_buffered(
         map=np.concatenate(map_parts) if map_parts else np.empty(0, dtype=np.int32),
         displ=displ,
         ind=np.concatenate(ind_parts) if ind_parts else np.empty(0, dtype=np.uint16),
-        val=np.concatenate(val_parts) if val_parts else np.empty(0, dtype=np.float32),
+        val=np.concatenate(val_parts)
+        if val_parts
+        else np.empty(0, dtype=matrix.val.dtype),
         num_cols=matrix.num_cols,
     )

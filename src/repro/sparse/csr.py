@@ -49,18 +49,29 @@ class CSRMatrix:
 
     The arrays correspond one-to-one to Listing 2 of the paper:
     ``displ`` (row offsets, ``int64``), ``ind`` (column indices,
-    ``int32``) and ``val`` (intersection lengths, ``float32``).
+    ``int32``) and ``val`` (intersection lengths, ``float32`` by
+    default).  ``value_dtype`` opts a matrix into ``float64`` value
+    storage — the full double-precision reference path; construction
+    coerces ``val`` to exactly this dtype, so a matrix can never carry
+    values wider than its declared precision by accident.
     """
 
     displ: np.ndarray
     ind: np.ndarray
     val: np.ndarray
     num_cols: int
+    value_dtype: str = "float32"
 
     def __post_init__(self) -> None:
+        vdtype = np.dtype(self.value_dtype)
+        if vdtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(
+                f"value_dtype must be float32 or float64, got {self.value_dtype!r}"
+            )
+        self.value_dtype = vdtype.name
         self.displ = np.asarray(self.displ, dtype=np.int64)
         self.ind = np.asarray(self.ind, dtype=np.int32)
-        self.val = np.asarray(self.val, dtype=np.float32)
+        self.val = np.asarray(self.val, dtype=vdtype)
         if self.displ.ndim != 1 or self.displ.shape[0] < 1:
             raise ValueError("displ must be a 1D offsets array")
         if self.ind.shape != self.val.shape:
@@ -73,15 +84,32 @@ class CSRMatrix:
     # -- construction -------------------------------------------------
 
     @classmethod
-    def from_scipy(cls, matrix: sp.spmatrix) -> "CSRMatrix":
-        """Convert any scipy sparse matrix (copies into our dtypes)."""
+    def from_scipy(
+        cls, matrix: sp.spmatrix, dtype: str | np.dtype = "float32"
+    ) -> "CSRMatrix":
+        """Convert any scipy sparse matrix (copies into our dtypes).
+
+        ``dtype`` selects the value-storage precision (``float32``
+        default, ``float64`` for the double-precision reference path).
+        """
         csr = sp.csr_matrix(matrix)
         csr.sum_duplicates()
         return cls(
             displ=csr.indptr.astype(np.int64),
             ind=csr.indices.astype(np.int32),
-            val=csr.data.astype(np.float32),
+            val=csr.data,
             num_cols=csr.shape[1],
+            value_dtype=np.dtype(dtype).name,
+        )
+
+    def astype(self, dtype: str | np.dtype) -> "CSRMatrix":
+        """Copy of this matrix with values stored in ``dtype``."""
+        return CSRMatrix(
+            displ=self.displ,
+            ind=self.ind,
+            val=self.val,
+            num_cols=self.num_cols,
+            value_dtype=np.dtype(dtype).name,
         )
 
     def to_scipy(self) -> sp.csr_matrix:
@@ -192,7 +220,13 @@ class CSRMatrix:
                         "the same new index"
                     )
             ind = col_rank[ind].astype(np.int32)
-        return CSRMatrix(displ=displ, ind=ind, val=val, num_cols=self.num_cols)
+        return CSRMatrix(
+            displ=displ,
+            ind=ind,
+            val=val,
+            num_cols=self.num_cols,
+            value_dtype=self.value_dtype,
+        )
 
     def row_block(self, row0: int, row1: int) -> "CSRMatrix":
         """View-based sub-matrix of the contiguous row range ``[row0, row1)``.
@@ -211,6 +245,7 @@ class CSRMatrix:
             ind=self.ind[lo:hi],
             val=self.val[lo:hi],
             num_cols=self.num_cols,
+            value_dtype=self.value_dtype,
         )
 
     def sort_rows_by_index(self) -> "CSRMatrix":
@@ -228,6 +263,7 @@ class CSRMatrix:
             ind=self.ind[order],
             val=self.val[order],
             num_cols=self.num_cols,
+            value_dtype=self.value_dtype,
         )
 
 

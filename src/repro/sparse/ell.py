@@ -137,7 +137,11 @@ class ELLPartitioned:
 
 
 def build_ell(matrix: CSRMatrix, partition_size: int) -> ELLPartitioned:
-    """Convert a CSR matrix into partition-padded column-major ELL."""
+    """Convert a CSR matrix into partition-padded column-major ELL.
+
+    The slabs inherit the matrix's value-storage dtype, so a
+    ``float64`` matrix yields a full double-precision ELL layout.
+    """
     parts = RowPartitions(matrix.num_rows, partition_size)
     widths = np.zeros(parts.num_partitions, dtype=np.int64)
     ind_slabs: list[np.ndarray] = []
@@ -149,7 +153,7 @@ def build_ell(matrix: CSRMatrix, partition_size: int) -> ELLPartitioned:
         width = int(row_nnz[start:stop].max()) if nrows else 0
         widths[part] = width
         ind = np.zeros((width, nrows), dtype=np.int32)
-        val = np.zeros((width, nrows), dtype=np.float32)
+        val = np.zeros((width, nrows), dtype=matrix.val.dtype)
         for j, row in enumerate(range(start, stop)):
             lo, hi = matrix.displ[row], matrix.displ[row + 1]
             k = hi - lo

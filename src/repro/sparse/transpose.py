@@ -36,6 +36,7 @@ def _transpose_with_order(matrix: CSRMatrix, order: np.ndarray) -> CSRMatrix:
         ind=row_ids[order].astype(np.int32),
         val=matrix.val[order],
         num_cols=matrix.num_rows,
+        value_dtype=matrix.value_dtype,
     )
 
 

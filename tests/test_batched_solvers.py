@@ -44,6 +44,13 @@ class LoopOnlyOperator:
         self.inner = inner
 
     @property
+    def solve_dtype(self):
+        # Forward the inner operator's precision so the loop fallback
+        # and the batch path solve in the same dtype (matters when
+        # REPRO_DTYPE puts the suite on the fp32 path).
+        return getattr(self.inner, "solve_dtype", None)
+
+    @property
     def num_rays(self):
         return self.inner.num_rays
 

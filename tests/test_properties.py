@@ -173,3 +173,71 @@ class TestTracedOperatorProperties:
         y = A.spmv(img.reshape(-1).astype(np.float32)).reshape(angles, 16)
         masses = y.sum(axis=1)
         assert masses.max() - masses.min() < 0.05 * masses.mean()
+
+
+class TestConfigSpecRejection:
+    """Malformed configuration specs fail loudly, with usable errors.
+
+    Property-based: arbitrary junk strings must either parse to a
+    valid value or raise ValueError/TypeError whose message names the
+    offending field — never a silent fallback or an unrelated crash.
+    """
+
+    _DTYPE_OK = {"float32", "fp32", "single", "f32",
+                 "float64", "fp64", "double", "f64"}
+    _TUNE_OK = {"auto", "predict", "force"}
+
+    @given(spec=st.text(min_size=0, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_parse_dtype_junk_strings(self, spec):
+        from repro.precision import parse_dtype
+
+        if spec.strip().lower() in self._DTYPE_OK:
+            assert parse_dtype(spec) in ("float32", "float64")
+        else:
+            with pytest.raises(ValueError, match="dtype"):
+                parse_dtype(spec)
+
+    @given(spec=st.text(min_size=0, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_operator_config_tune_junk_strings(self, spec):
+        from repro.core import OperatorConfig
+
+        if spec.strip().lower() in self._TUNE_OK:
+            assert OperatorConfig(tune=spec).tune in self._TUNE_OK
+        else:
+            with pytest.raises(ValueError, match="tune"):
+                OperatorConfig(tune=spec)
+
+    @given(spec=st.one_of(
+        st.integers(min_value=-10, max_value=0),
+        st.text(alphabet="abcxyz:!-", min_size=1, max_size=8),
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_parse_workers_junk_specs(self, spec):
+        from repro.parallel import parse_workers
+
+        valid_words = {"auto", "serial", "thread", "process"}
+        try:
+            workers, mode = parse_workers(spec)
+        except (ValueError, TypeError) as exc:
+            assert "worker" in str(exc).lower()
+        else:
+            assert workers >= 1
+            assert mode in ("serial", "thread", "process")
+            text = str(spec).strip().lower()
+            assert (
+                text in valid_words
+                or text == ""
+                or text.split(":")[0] in valid_words
+            )
+
+    @given(dtype=st.sampled_from(sorted(_DTYPE_OK) + [None]),
+           tune=st.sampled_from(sorted(_TUNE_OK) + [None]))
+    @settings(max_examples=20, deadline=None)
+    def test_valid_combinations_always_construct(self, dtype, tune):
+        from repro.core import OperatorConfig
+
+        config = OperatorConfig(dtype=dtype, tune=tune)
+        assert config.dtype in (None, "float32", "float64")
+        assert config.tune in (None, "auto", "predict", "force")
