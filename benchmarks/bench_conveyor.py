@@ -1,0 +1,152 @@
+"""Overlapped I/O conveyor acceptance — disk time hides under the solve.
+
+The streaming executor's chunk loop is ``source -> condition -> solve ->
+sink``.  Run synchronously (``prefetch=0``), the read and write latency
+of every chunk adds to the solve wall time; with the conveyor
+(``prefetch=2``), a reader thread pulls the next chunks ahead of the
+solve and a writer thread drains finished slabs behind it, so the same
+latency overlaps the compute and all that remains exposed is the first
+read and the last write.
+
+Real disk latency is too machine-dependent to assert on, so the
+benchmark *injects* it: the source and sink sleep a fixed fraction
+(40%) of the measured per-chunk solve time on every chunk.  That makes
+the acceptance ratios scale-invariant:
+
+* **serial** (prefetch=0) pays solve + 2 x 0.4 x solve per chunk —
+  must come out at >= MIN_SERIAL_RATIO x the pure solve, proving the
+  injected latency is actually large enough to matter;
+* **conveyor** (prefetch=2) must stay <= MAX_CONVEYOR_RATIO x the pure
+  solve — the same latency, hidden;
+* the streamed volume is **bit-identical** to the in-memory volume —
+  threading never changes arithmetic.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the instance and relaxes the timing
+ratios (CI machines are noisy); bit-exactness is always enforced.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.dataio import ArraySource, VolumeSink
+from repro.pipeline import demo_stack, reconstruct_stack
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+SIZE = 64 if SMOKE else 96
+SLICES = 8 if SMOKE else 16
+CHUNK_SLICES = 2
+ITERATIONS = 6 if SMOKE else 10
+PREFETCH = 2
+#: Injected I/O latency as a fraction of the measured per-chunk solve.
+DELAY_FRACTION = 0.4
+MIN_DELAY_SECONDS = 0.03
+MIN_SERIAL_RATIO = 1.2 if SMOKE else 1.5
+MAX_CONVEYOR_RATIO = 1.5 if SMOKE else 1.15
+
+
+class _SlowSource(ArraySource):
+    """ArraySource with an injected per-chunk read latency."""
+
+    def __init__(self, stack, delay: float):
+        super().__init__(stack)
+        self.delay = delay
+
+    def read(self, start, stop):
+        time.sleep(self.delay)
+        return super().read(start, stop)
+
+
+class _SlowSink(VolumeSink):
+    """VolumeSink with an injected per-slab write latency."""
+
+    def __init__(self, num_slices, n, delay: float):
+        super().__init__(num_slices, n)
+        self.delay = delay
+
+    def write(self, start, stop, slab):
+        time.sleep(self.delay)
+        super().write(start, stop, slab)
+
+
+def test_conveyor_overlaps_io(report):
+    demo = demo_stack(size=SIZE, num_slices=SLICES, poisson=False)
+    common = dict(
+        stages=[],
+        operator=demo.operator,
+        solver="cg",
+        iterations=ITERATIONS,
+        chunk_slices=CHUNK_SLICES,
+    )
+    num_chunks = SLICES // CHUNK_SLICES
+
+    # Warm both code paths, then measure the pure in-memory solve.
+    reconstruct_stack(demo.sinograms[:CHUNK_SLICES], demo.geometry, **common)
+    t0 = time.perf_counter()
+    reference = reconstruct_stack(demo.sinograms, demo.geometry, **common)
+    pure_wall = time.perf_counter() - t0
+
+    delay = max(MIN_DELAY_SECONDS, DELAY_FRACTION * pure_wall / num_chunks)
+    n = demo.geometry.num_channels
+
+    def streamed(prefetch: int):
+        source = _SlowSource(demo.sinograms, delay)
+        sink = _SlowSink(SLICES, n, delay)
+        t0 = time.perf_counter()
+        reconstruct_stack(source, demo.geometry, sink=sink, prefetch=prefetch, **common)
+        return time.perf_counter() - t0, sink.volume
+
+    with obs.capture() as cap_serial:
+        serial_wall, serial_volume = streamed(prefetch=0)
+    with obs.capture() as cap_conveyor:
+        conveyor_wall, conveyor_volume = streamed(prefetch=PREFETCH)
+
+    serial_ratio = serial_wall / pure_wall
+    conveyor_ratio = conveyor_wall / pure_wall
+    serial_exact = np.array_equal(serial_volume, reference.volume)
+    conveyor_exact = np.array_equal(conveyor_volume, reference.volume)
+    read_s = cap_conveyor.total(obs.DATAIO_READ_SECONDS)
+    write_s = cap_conveyor.total(obs.DATAIO_WRITE_SECONDS)
+
+    lines = [
+        f"overlapped I/O conveyor, {SIZE}x{SIZE}, {SLICES} slices in "
+        f"{num_chunks} chunks, CG x{ITERATIONS}"
+        + (" [smoke]" if SMOKE else ""),
+        f"  injected latency        : {delay * 1e3:8.1f} ms per chunk "
+        f"read and per slab write",
+        f"  pure solve (in-memory)  : {pure_wall:8.3f} s",
+        f"  serial   (prefetch=0)   : {serial_wall:8.3f} s "
+        f"({serial_ratio:5.2f}x pure; acceptance >= {MIN_SERIAL_RATIO:.2f}x)",
+        f"  conveyor (prefetch={PREFETCH})   : {conveyor_wall:8.3f} s "
+        f"({conveyor_ratio:5.2f}x pure; acceptance <= {MAX_CONVEYOR_RATIO:.2f}x)",
+        f"  hidden I/O (conveyor)   : {read_s:8.3f} s read + "
+        f"{write_s:.3f} s write overlapped",
+        f"  streamed == in-memory   : serial {serial_exact}, "
+        f"conveyor {conveyor_exact} (bit-exact)",
+    ]
+    report(
+        "conveyor",
+        "\n".join(lines),
+        extra={
+            "smoke": SMOKE,
+            "pure_seconds": pure_wall,
+            "serial_seconds": serial_wall,
+            "conveyor_seconds": conveyor_wall,
+            "delay_seconds": delay,
+            "serial_ratio": serial_ratio,
+            "conveyor_ratio": conveyor_ratio,
+        },
+    )
+
+    assert serial_exact and conveyor_exact
+    assert serial_ratio >= MIN_SERIAL_RATIO, (
+        f"serial run only {serial_ratio:.2f}x pure solve; injected latency "
+        "too small to demonstrate overlap"
+    )
+    assert conveyor_ratio <= MAX_CONVEYOR_RATIO, (
+        f"conveyor run at {conveyor_ratio:.2f}x pure solve; I/O is not "
+        "hiding under the compute"
+    )

@@ -45,6 +45,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -204,8 +205,35 @@ def _print_resilience_summary(result) -> None:
         print(f"checkpoint written to {path}")
 
 
+def _cmd_pipeline_make_demo(args: argparse.Namespace) -> int:
+    """Synthesize a raw demo stack and write it to disk as pipeline input."""
+    from .phantoms import write_stack_dataset
+    from .pipeline import demo_stack
+
+    demo = demo_stack(
+        size=args.size,
+        num_slices=args.slices,
+        num_angles=args.angles,
+        center_shift=args.shift,
+        rings=args.rings,
+        poisson=not args.no_noise,
+        seed=args.seed,
+        cache=args.cache,
+    )
+    path = write_stack_dataset(
+        args.output, demo.raw, demo.darks, demo.flats,
+        shard_slices=args.shard_slices,
+    )
+    s, a, c = demo.raw.shape
+    print(f"wrote demo stack ({s} slices x {a} angles x {c} channels) to {path}")
+    return 0
+
+
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     from .pipeline import reconstruct_stack
+
+    if args.action == "make-demo":
+        return _cmd_pipeline_make_demo(args)
 
     darks = flats = None
     geometry = operator = None
@@ -235,10 +263,16 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         if not args.input:
             print("error: provide --input FILE or --demo", file=sys.stderr)
             return 2
-        with np.load(args.input) as data:
-            raw = data["stack"]
-            darks = data["darks"] if "darks" in data else None
-            flats = data["flats"] if "flats" in data else None
+        # open_source() resolves the format (.npz archive, shard
+        # directory, HDF5/tomobank) and carries any calibration frames
+        # the source stores alongside the data.
+        raw = args.input
+
+    # A non-.npz output streams slabs straight to disk (shard dir or
+    # .raw) instead of accumulating the volume in memory.
+    sink = None
+    if Path(args.output).suffix != ".npz":
+        sink = args.output
 
     result = reconstruct_stack(
         raw,
@@ -263,6 +297,9 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         workers=args.workers,
         dtype=args.dtype,
         tune=args.tune,
+        sink=sink,
+        prefetch=args.prefetch,
+        progress=args.progress,
     )
     if operator is None:
         _print_cache_status(result.preprocess_report)
@@ -282,7 +319,11 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         if demo is not None:
             line += f" (injected {demo.center_shift:+.3f})"
         print(line)
-    if demo is not None and not result.extra.get("stopped_early"):
+    if (
+        demo is not None
+        and result.volume is not None
+        and not result.extra.get("stopped_early")
+    ):
         truth = demo.attenuation_scale * demo.truth
         print(f"PSNR vs truth: {psnr(result.volume, truth):.2f} dB")
     if result.extra.get("stopped_early"):
@@ -300,8 +341,16 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             for name, seconds in result.extra["stage_times"].items()
         ]
         print(render_table(["Stage", "Wall time"], rows, title="Per-stage wall time"))
-    np.savez(args.output, volume=result.volume)
-    print(f"saved volume to {args.output}")
+    if result.volume is not None:
+        np.savez(args.output, volume=result.volume)
+        print(f"saved volume to {args.output}")
+    elif "output_path" in result.extra:
+        print(f"streamed volume finalized at {result.extra['output_path']}")
+    else:
+        print(
+            f"streamed volume at {args.output} is incomplete "
+            "(re-run with --resume to finish)"
+        )
     return 0
 
 
@@ -648,11 +697,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="streaming multi-slice stack reconstruction (docs/pipeline.md)",
         parents=[obs_flags, cache_flags, workers_flags, tune_flags],
     )
-    p.add_argument("action", choices=("run",))
+    p.add_argument(
+        "action", choices=("run", "make-demo"),
+        help="run: reconstruct a stack; make-demo: write a synthetic raw "
+        "stack to --output as pipeline input",
+    )
     p.add_argument(
         "--input",
-        help=".npz with a 'stack' array (slices, angles, channels) and "
-        "optional 'darks'/'flats' calibration frames",
+        help="raw stack to reconstruct: an .npz with 'stack' (slices, "
+        "angles, channels) plus optional 'darks'/'flats', an .npz-shard "
+        "directory, or an HDF5/tomobank .h5 file (needs h5py)",
     )
     p.add_argument(
         "--demo", action="store_true",
@@ -701,7 +755,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-chunks", type=int, default=None,
         help="stop cleanly after N chunks this run (kill/resume testing)",
     )
-    p.add_argument("--output", "-o", default="volume.npz")
+    p.add_argument(
+        "--prefetch", type=int, default=0, metavar="N",
+        help="overlap I/O with the solve: read up to N chunks ahead and "
+        "write slabs behind on conveyor threads (0 = synchronous)",
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="live progress/ETA line (with conveyor queue depths) on stderr",
+    )
+    p.add_argument(
+        "--shard-slices", type=int, default=None, metavar="K",
+        help="slices per shard when make-demo writes a directory",
+    )
+    p.add_argument(
+        "--output", "-o", default="volume.npz",
+        help="volume destination: .npz accumulates in memory; a directory "
+        "or .raw path streams slabs to disk chunk-by-chunk (make-demo: "
+        "where the raw stack is written)",
+    )
 
     p = sub.add_parser(
         "bench",

@@ -1,0 +1,61 @@
+"""repro.dataio — out-of-core stack I/O for the streaming pipeline.
+
+Decouples ``reconstruct_stack`` from "the whole raw stack is one
+in-memory array":
+
+* **Sources** (:mod:`repro.dataio.reader`) — :class:`ChunkSource`
+  pulls ``(slices, angles, channels)`` chunks from an in-memory array,
+  an ``.npz``-shard directory, or an HDF5/tomobank file (``h5py``
+  optional), so stack depth is bounded by disk, not RAM.
+* **Sinks** (:mod:`repro.dataio.writer`) — :class:`ChunkSink` streams
+  reconstructed slabs out as atomic npz shards or one flat ``.raw``
+  file, finalized crash-safely through :mod:`repro.persist` semantics.
+* **Conveyor** (:mod:`repro.dataio.conveyor`) — a prefetching reader
+  thread and a write-behind thread on bounded queues, hiding both disk
+  ends under the solve; ``prefetch=0`` is the synchronous reference.
+
+All of it is observable through the ``dataio.read_seconds`` /
+``dataio.write_seconds`` / ``dataio.queue_depth`` counters.  See
+``docs/pipeline.md`` (conveyor section) for the guide.
+"""
+
+from .conveyor import Conveyor, ConveyorProgress
+from .reader import (
+    SHARD_PATTERN,
+    ArraySource,
+    ChunkSource,
+    Hdf5Source,
+    MissingDependencyError,
+    NpzShardSource,
+    open_source,
+    save_stack,
+)
+from .writer import (
+    SLAB_PATTERN,
+    ChunkSink,
+    NpzShardSink,
+    RawVolumeSink,
+    VolumeSink,
+    load_volume,
+    make_sink,
+)
+
+__all__ = [
+    "Conveyor",
+    "ConveyorProgress",
+    "ChunkSource",
+    "ArraySource",
+    "NpzShardSource",
+    "Hdf5Source",
+    "MissingDependencyError",
+    "open_source",
+    "save_stack",
+    "SHARD_PATTERN",
+    "ChunkSink",
+    "VolumeSink",
+    "NpzShardSink",
+    "RawVolumeSink",
+    "make_sink",
+    "load_volume",
+    "SLAB_PATTERN",
+]

@@ -46,6 +46,11 @@ from .counters import (
     CHECKPOINT_SAVES,
     COMM_BYTES,
     COMM_MESSAGES,
+    DATAIO_BYTES_READ,
+    DATAIO_BYTES_WRITTEN,
+    DATAIO_QUEUE_DEPTH,
+    DATAIO_READ_SECONDS,
+    DATAIO_WRITE_SECONDS,
     FAULT_CORRUPTIONS,
     FAULT_CRASHES,
     FAULT_DELAYS,
@@ -90,6 +95,11 @@ __all__ = [
     "CHECKPOINT_SAVES",
     "COMM_BYTES",
     "COMM_MESSAGES",
+    "DATAIO_BYTES_READ",
+    "DATAIO_BYTES_WRITTEN",
+    "DATAIO_QUEUE_DEPTH",
+    "DATAIO_READ_SECONDS",
+    "DATAIO_WRITE_SECONDS",
     "DTYPE_FP32_SPMV",
     "DTYPE_FP64_SPMV",
     "FAULT_CORRUPTIONS",

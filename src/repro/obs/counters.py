@@ -51,6 +51,11 @@ __all__ = [
     "PIPELINE_SLICES",
     "PIPELINE_CHUNKS",
     "PIPELINE_RESUMED_SLICES",
+    "DATAIO_READ_SECONDS",
+    "DATAIO_WRITE_SECONDS",
+    "DATAIO_QUEUE_DEPTH",
+    "DATAIO_BYTES_READ",
+    "DATAIO_BYTES_WRITTEN",
     "PARALLEL_TASKS",
     "PARALLEL_DISPATCHES",
     "PARALLEL_SHM_BYTES",
@@ -110,6 +115,17 @@ PIPELINE_SLICES = "pipeline.slices"
 PIPELINE_CHUNKS = "pipeline.chunks"
 #: Slices skipped on resume because a chunk checkpoint covered them.
 PIPELINE_RESUMED_SLICES = "pipeline.resumed_slices"
+#: Wall seconds the conveyor's reader spent pulling chunks from a source.
+DATAIO_READ_SECONDS = "dataio.read_seconds"
+#: Wall seconds the conveyor's writer spent pushing slabs into a sink.
+DATAIO_WRITE_SECONDS = "dataio.write_seconds"
+#: Read-queue depth sampled each time the reader enqueues a chunk
+#: (total / events = mean prefetch occupancy).
+DATAIO_QUEUE_DEPTH = "dataio.queue_depth"
+#: Raw stack bytes pulled from chunk sources.
+DATAIO_BYTES_READ = "dataio.bytes_read"
+#: Volume bytes pushed into chunk sinks.
+DATAIO_BYTES_WRITTEN = "dataio.bytes_written"
 #: Worker tasks executed by the shared-memory parallel backend.
 PARALLEL_TASKS = "parallel.tasks"
 #: Parallel fan-outs dispatched (one per backend.map / engine apply).
@@ -158,6 +174,11 @@ CANONICAL_UNITS = {
     PIPELINE_SLICES: "slice",
     PIPELINE_CHUNKS: "chunk",
     PIPELINE_RESUMED_SLICES: "slice",
+    DATAIO_READ_SECONDS: "second",
+    DATAIO_WRITE_SECONDS: "second",
+    DATAIO_QUEUE_DEPTH: "chunk",
+    DATAIO_BYTES_READ: "byte",
+    DATAIO_BYTES_WRITTEN: "byte",
     PARALLEL_TASKS: "task",
     PARALLEL_DISPATCHES: "dispatch",
     PARALLEL_SHM_BYTES: "byte",

@@ -8,6 +8,7 @@ from .stack import (
     simulate_counts,
     stacked_shepp_logan,
     synthetic_darks_flats,
+    write_stack_dataset,
 )
 from .synthetic import beer_law_sinogram, brain_phantom, shale_phantom
 
@@ -22,4 +23,5 @@ __all__ = [
     "inject_rings",
     "inject_center_shift",
     "simulate_counts",
+    "write_stack_dataset",
 ]

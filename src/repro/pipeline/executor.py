@@ -4,28 +4,48 @@ The memory-centric bargain of the paper (Table 5) is that
 preprocessing is paid once per *scan geometry* and amortized over every
 slice of a 3D dataset.  This executor completes that story end-to-end:
 
-* the raw ``(slices, angles, channels)`` stack is walked in chunks
-  sized by an explicit slice count or a memory budget, so arbitrarily
-  tall stacks run in bounded memory;
+* the raw ``(slices, angles, channels)`` stack is pulled chunk-by-chunk
+  from a :class:`~repro.dataio.ChunkSource` — an in-memory array, an
+  ``.npz``-shard directory, or an HDF5/tomobank file — sized by an
+  explicit slice count or a memory budget, so arbitrarily tall stacks
+  run in bounded memory without ever materializing the full raw array;
 * each chunk flows through the conditioning stages
   (:mod:`repro.pipeline.stages`) and then into a **batched multi-RHS
   solve** — one cached operator drives all slices of the chunk per
   iteration, streaming the matrix once instead of once per slice;
-* after every chunk the accumulated volume is checkpointed through
+* with ``prefetch >= 1`` the chunk loop becomes an overlapped conveyor
+  (:mod:`repro.dataio.conveyor`): a reader thread pulls the next chunks
+  ahead of the solve and a writer thread drains finished slabs into an
+  optional :class:`~repro.dataio.ChunkSink`, so disk time on both ends
+  hides under the solve;
+* after every chunk the run is checkpointed through
   :class:`repro.resilience.CheckpointManager`, so a killed run resumes
-  at the next chunk with a bit-identical final volume.
+  at the next chunk with a bit-identical final volume.  The checkpoint
+  fingerprint binds the *full* configuration — stack content, solver,
+  iterations, tolerance, solver kwargs, solve precision, and the exact
+  conditioning chain — so resuming against anything different is
+  refused rather than silently blending two configurations.
 """
 
 from __future__ import annotations
 
 import hashlib
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..core.operator import MemXCTOperator, OperatorConfig
 from ..core.preprocess import PreprocessReport, preprocess
+from ..dataio import (
+    ChunkSink,
+    ChunkSource,
+    Conveyor,
+    ConveyorProgress,
+    make_sink,
+    open_source,
+)
 from ..geometry import ParallelBeamGeometry
 from ..obs import (
     PIPELINE_CHUNKS,
@@ -36,8 +56,9 @@ from ..obs import (
     span,
 )
 from ..parallel.backend import make_backend, parse_workers
+from ..precision import parse_dtype, solver_dtype
 from ..resilience.checkpoint import CheckpointError, CheckpointManager, SolverCheckpoint
-from ..solvers import cgls, cgls_batch, mlem, mlem_batch, sirt, sirt_batch, solver_dtype
+from ..solvers import cgls, cgls_batch, mlem, mlem_batch, sirt, sirt_batch
 from .stages import Stage, StageContext, default_stages
 
 __all__ = [
@@ -57,13 +78,16 @@ _CHECKPOINT_SOLVER = "pipeline"
 class StackResult:
     """Everything produced by one stack reconstruction.
 
+    ``volume`` is the assembled ``(slices, n, n)`` array on the
+    in-memory path and ``None`` when a sink streamed the slabs out —
+    the finalized location is then in ``extra["output_path"]``.
     ``extra["stage_times"]`` maps each conditioning stage name (plus
     ``"solve"``) to accumulated wall seconds — the split the CLI's
     ``--metrics`` prints so conditioning cost is visible next to solve
     cost without exporting a trace.
     """
 
-    volume: np.ndarray  # (slices, n, n)
+    volume: np.ndarray | None
     operator: MemXCTOperator
     preprocess_report: PreprocessReport
     solver: str
@@ -71,37 +95,78 @@ class StackResult:
     stage_times: dict[str, float] = field(default_factory=dict)
     solve_seconds: float = 0.0
     total_seconds: float = 0.0
+    total_slices: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
     def num_slices(self) -> int:
-        return self.volume.shape[0]
+        return self.volume.shape[0] if self.volume is not None else self.total_slices
 
 
 def chunk_slices_for_budget(
-    budget_bytes: int, num_rays: int, num_pixels: int, num_slices: int
+    budget_bytes: int,
+    num_rays: int,
+    num_pixels: int,
+    num_slices: int,
+    *,
+    itemsize: int = 8,
+    volume_in_memory: bool = True,
+    prefetch: int = 0,
 ) -> int:
     """Slices per chunk that fit a working-set memory budget.
 
-    Per slice the batched solve holds ~3 ray-length vectors (Y, R, Q)
-    and ~4 pixel-length vectors (X, P, G and a staging copy) in
-    float64, plus the conditioned sinogram itself — the budget model
-    documented in ``docs/pipeline.md``.  Always returns at least 1:
-    a single slice is the irreducible working set.
+    The model (documented in ``docs/pipeline.md``) charges, per slice
+    of a chunk, ~4 ray-length and ~4 pixel-length solver vectors at the
+    solve precision's ``itemsize`` (8 for the float64 default, 4 on the
+    fp32 path) plus the float64 conditioned chunk itself — multiplied
+    by ``1 + prefetch`` since the conveyor parks that many extra raw
+    chunks ahead of the solve.  When the accumulated output volume
+    stays in memory (``volume_in_memory=True``, i.e. no streaming
+    sink), its fixed float64 footprint is carved out of the budget
+    first.  Always returns at least 1: a single slice is the
+    irreducible working set.
     """
     if budget_bytes <= 0:
         raise ValueError(f"memory budget must be positive, got {budget_bytes}")
-    per_slice = 8 * (4 * num_rays + 4 * num_pixels)
-    return int(max(1, min(num_slices, budget_bytes // per_slice)))
+    if itemsize <= 0:
+        raise ValueError(f"itemsize must be positive, got {itemsize}")
+    if prefetch < 0:
+        raise ValueError(f"prefetch must be >= 0, got {prefetch}")
+    solve_per_slice = itemsize * (4 * num_rays + 4 * num_pixels)
+    chunk_per_slice = 8 * num_rays * (1 + prefetch)
+    per_slice = solve_per_slice + chunk_per_slice
+    fixed = 8 * num_pixels * num_slices if volume_in_memory else 0
+    available = budget_bytes - fixed
+    return int(max(1, min(num_slices, available // per_slice)))
 
 
-def _stack_fingerprint(raw_stack: np.ndarray, solver: str, iterations: int) -> np.ndarray:
-    """Content hash binding a checkpoint to its exact inputs."""
+def _stack_fingerprint(
+    source: ChunkSource,
+    solver: str,
+    iterations: int,
+    tolerance: float,
+    solve_dtype: str,
+    stages: list[Stage],
+    solver_kwargs: dict,
+) -> np.ndarray:
+    """Content hash binding a checkpoint to its exact configuration.
+
+    Everything that changes the final volume participates: the stack
+    content (via the source fingerprint), solver, iteration budget,
+    tolerance, solve precision, every conditioning-stage parameter
+    (:meth:`~repro.pipeline.stages.Stage.signature`), and any extra
+    solver kwargs.  The leading version tag deliberately invalidates
+    checkpoints from the earlier, under-binding scheme.
+    """
     h = hashlib.sha256()
-    h.update(str(raw_stack.shape).encode())
-    h.update(str(raw_stack.dtype).encode())
-    h.update(np.ascontiguousarray(raw_stack).tobytes())
-    h.update(f"{solver}:{iterations}".encode())
+    h.update(b"stack-fingerprint-v2:")
+    h.update(source.fingerprint())
+    h.update(f"{solver}:{iterations}:{float(tolerance)!r}:{solve_dtype}".encode())
+    for stage in stages:
+        h.update(stage.signature().encode())
+        h.update(b";")
+    for key in sorted(solver_kwargs):
+        h.update(f"{key}={solver_kwargs[key]!r};".encode())
     return np.frombuffer(h.digest(), dtype=np.uint8).copy()
 
 
@@ -147,8 +212,23 @@ def _solve_chunk_looped(
     return np.stack(columns, axis=1), iters
 
 
+def _done_runs(done: np.ndarray) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` runs of True in a boolean mask."""
+    runs: list[tuple[int, int]] = []
+    start = None
+    for i, flag in enumerate(done):
+        if flag and start is None:
+            start = i
+        elif not flag and start is not None:
+            runs.append((start, i))
+            start = None
+    if start is not None:
+        runs.append((start, len(done)))
+    return runs
+
+
 def reconstruct_stack(
-    raw_stack: np.ndarray,
+    raw_stack,
     geometry: ParallelBeamGeometry | None = None,
     *,
     darks: np.ndarray | None = None,
@@ -170,6 +250,9 @@ def reconstruct_stack(
     workers: int | str | None = None,
     dtype: str | None = None,
     tune: str | None = None,
+    sink=None,
+    prefetch: int = 0,
+    progress=None,
     **solver_kwargs,
 ) -> StackResult:
     """Reconstruct a 3D stack of sinograms through the staged pipeline.
@@ -177,16 +260,20 @@ def reconstruct_stack(
     Parameters
     ----------
     raw_stack:
-        ``(slices, angles, channels)`` array — raw photon counts when
-        ``darks``/``flats`` (or equivalent stages) are supplied, line
-        integrals otherwise.
+        The raw acquisition: a ``(slices, angles, channels)`` array,
+        any :class:`~repro.dataio.ChunkSource`, or a path
+        :func:`~repro.dataio.open_source` understands (an ``.npz``
+        stack, a shard directory, or an HDF5/tomobank file).  Raw
+        photon counts when ``darks``/``flats`` (or equivalent stages)
+        are supplied, line integrals otherwise.
     geometry:
         Per-slice scan geometry; inferred from the stack shape when
         omitted.
     darks, flats:
         Calibration frames for the default conditioning chain (see
-        :func:`repro.pipeline.default_stages`).  Ignored when
-        ``stages`` is given explicitly.
+        :func:`repro.pipeline.default_stages`).  Default to whatever
+        the source carries (e.g. tomobank ``data_dark``/``data_white``);
+        ignored when ``stages`` is given explicitly.
     stages:
         Explicit conditioning chain.  Defaults to
         ``default_stages(darks, flats)`` when calibration is supplied,
@@ -202,22 +289,27 @@ def reconstruct_stack(
         reference in tests and benchmarks.
     chunk_slices, memory_budget_bytes:
         Chunking policy: an explicit slice count, or a working-set
-        budget fed to :func:`chunk_slices_for_budget`.  Default is one
-        chunk for the whole stack.
+        budget fed to :func:`chunk_slices_for_budget` (dtype-aware, and
+        aware of whether the output volume stays in memory).  Default
+        is one chunk for the whole stack.
     operator, config, ordering, cache:
         Operator reuse and construction knobs, as in
         :func:`repro.core.reconstruct`; ``cache`` enables the on-disk
         plan cache so warm runs skip preprocessing entirely.
     checkpoint:
         Path (or :class:`~repro.resilience.CheckpointManager`) for
-        per-chunk checkpoints of the accumulated volume.
+        per-chunk checkpoints.  On the in-memory path the accumulated
+        volume is checkpointed; with a ``sink`` only the done mask is
+        (the sink's own crash-safe shards hold the data), and a chunk
+        is marked done only once its slab is confirmed written.
     resume:
         Continue from ``checkpoint``.  The checkpoint's content
-        fingerprint must match this exact stack/solver/iterations —
-        resuming against different inputs raises
+        fingerprint must match this exact stack/solver/iterations/
+        tolerance/precision/stage configuration — resuming against
+        anything different raises
         :class:`~repro.resilience.CheckpointError`.  Completed chunks
-        are skipped; the final volume is bit-identical to an
-        uninterrupted run.
+        are skipped (never re-read from the source); the final volume
+        is bit-identical to an uninterrupted run.
     max_chunks:
         Stop (cleanly, after checkpointing) once this many chunks were
         processed in *this* run — the hook CI uses to simulate a kill.
@@ -231,23 +323,36 @@ def reconstruct_stack(
     dtype, tune:
         Compute precision and autotuning mode, folded into ``config``
         exactly as in :func:`repro.core.reconstruct` — they apply when
-        preprocessing runs here (a passed-in ``operator`` keeps its own
-        precision and layout).  With ``dtype="float32"`` the batched
-        right-hand sides and solver state run in single precision; the
-        assembled volume stays float64.
+        preprocessing runs here.  With a passed-in ``operator``,
+        ``dtype`` must match the operator's configured precision
+        (a mismatch raises instead of being silently ignored) and
+        ``tune`` has no effect (warned).  With ``dtype="float32"`` the
+        batched right-hand sides and solver state run in single
+        precision; the assembled volume stays float64.
+    sink:
+        Stream reconstructed slabs out instead of accumulating the
+        volume in memory: a :class:`~repro.dataio.ChunkSink`, or a
+        destination path for :func:`~repro.dataio.make_sink` (a shard
+        directory, or a ``.raw`` file).  ``StackResult.volume`` is then
+        ``None`` and ``extra["output_path"]`` points at the finalized
+        output.
+    prefetch:
+        Read-ahead depth for the overlapped conveyor; ``0`` (default)
+        runs source reads and sink writes synchronously.  The streamed
+        volume is bit-identical either way.
+    progress:
+        ``True`` for a queue-depth-driven progress/ETA line on stderr,
+        or any object with ``update(done_slices, backlog)`` / ``done()``.
     """
     t_start = time.perf_counter()
-    raw_stack = np.asarray(raw_stack)
-    if raw_stack.ndim != 3:
-        raise ValueError(
-            f"raw stack must be (slices, angles, channels), got shape {raw_stack.shape}"
-        )
-    num_slices = raw_stack.shape[0]
+    source = open_source(raw_stack, darks=darks, flats=flats)
+    darks, flats = source.darks, source.flats
+    num_slices = source.num_slices
     if geometry is None:
-        geometry = ParallelBeamGeometry(raw_stack.shape[1], raw_stack.shape[2])
-    if raw_stack.shape[1:] != geometry.sinogram_shape:
+        geometry = ParallelBeamGeometry(source.shape[1], source.shape[2])
+    if source.shape[1:] != geometry.sinogram_shape:
         raise ValueError(
-            f"stack slices have shape {raw_stack.shape[1:]}, geometry expects "
+            f"stack slices have shape {source.shape[1:]}, geometry expects "
             f"{geometry.sinogram_shape}"
         )
     if solver not in PIPELINE_SOLVERS:
@@ -256,6 +361,8 @@ def reconstruct_stack(
         )
     if chunk_slices is not None and memory_budget_bytes is not None:
         raise ValueError("pass either chunk_slices or memory_budget_bytes, not both")
+    if prefetch < 0:
+        raise ValueError(f"prefetch must be >= 0, got {prefetch}")
 
     if stages is None:
         stages = default_stages(darks, flats) if darks is not None else []
@@ -270,6 +377,23 @@ def reconstruct_stack(
     if resume and manager is None:
         raise ValueError("resume=True requires a checkpoint")
 
+    if operator is not None:
+        # A prebuilt operator fixes the precision and layout; the
+        # overrides below must not be dropped on the floor silently.
+        if dtype is not None and parse_dtype(dtype) != operator.config.dtype:
+            have = operator.config.dtype or "the default mixed precision"
+            raise ValueError(
+                f"dtype={dtype!r} conflicts with the prebuilt operator "
+                f"({have}); rebuild the operator with "
+                f"OperatorConfig(dtype={dtype!r}) or drop the override"
+            )
+        if tune is not None:
+            warnings.warn(
+                "tune= has no effect on a prebuilt operator; omit operator= "
+                "to let preprocessing run the autotuner",
+                UserWarning,
+                stacklevel=2,
+            )
     overrides = {}
     if workers is not None:
         overrides["workers"] = workers
@@ -305,15 +429,30 @@ def reconstruct_stack(
                     operator.num_rays,
                     operator.num_pixels,
                     num_slices,
+                    itemsize=solver_dtype(operator).itemsize,
+                    volume_in_memory=sink is None,
+                    prefetch=prefetch,
                 )
             else:
                 chunk_slices = num_slices
         if chunk_slices < 1:
             raise ValueError(f"chunk_slices must be >= 1, got {chunk_slices}")
 
-        fingerprint = _stack_fingerprint(raw_stack, solver, iterations)
+        fingerprint = _stack_fingerprint(
+            source,
+            solver,
+            iterations,
+            tolerance,
+            str(solver_dtype(operator)),
+            stages,
+            solver_kwargs,
+        )
         n = geometry.num_channels
-        volume = np.zeros((num_slices, n, n), dtype=np.float64)
+        if sink is not None and not isinstance(sink, ChunkSink):
+            sink = make_sink(sink, num_slices, n, resume=resume)
+        volume = (
+            np.zeros((num_slices, n, n), dtype=np.float64) if sink is None else None
+        )
         done = np.zeros(num_slices, dtype=bool)
         ctx = StageContext(angles=geometry.angles())
         extra: dict = {}
@@ -329,98 +468,151 @@ def reconstruct_stack(
             if stored is None or not np.array_equal(stored, fingerprint):
                 raise CheckpointError(
                     "checkpoint fingerprint does not match this stack/solver/"
-                    "iterations; refusing to resume against different inputs"
+                    "iterations/tolerance/precision/stage configuration; "
+                    "refusing to resume against different inputs"
                 )
-            volume = np.asarray(snapshot.arrays["volume"], dtype=np.float64).copy()
             done = np.asarray(snapshot.arrays["done"], dtype=bool).copy()
+            stored_volume = snapshot.arrays.get("volume")
+            if sink is None:
+                if stored_volume is None:
+                    raise CheckpointError(
+                        "checkpoint was written by a streaming-sink run and "
+                        "holds no volume; resume with the same sink"
+                    )
+                volume = np.asarray(stored_volume, dtype=np.float64).copy()
+            elif stored_volume is not None:
+                # In-memory checkpoint resumed onto a sink: replay the
+                # completed slices so the sink's output is whole.
+                stored_volume = np.asarray(stored_volume, dtype=np.float64)
+                for a, b in _done_runs(done):
+                    sink.write(a, b, stored_volume[a:b])
             if "center_shift" in snapshot.scalars:
                 ctx.info["center_shift"] = snapshot.scalars["center_shift"]
             add_count(PIPELINE_RESUMED_SLICES, int(done.sum()))
             extra["resumed_slices"] = int(done.sum())
 
+        def save_checkpoint() -> None:
+            if manager is None:
+                return
+            scalars = {}
+            if "center_shift" in ctx.info:
+                scalars["center_shift"] = float(ctx.info["center_shift"])
+            arrays = {"done": done.astype(np.uint8), "fingerprint": fingerprint}
+            if volume is not None:
+                arrays["volume"] = volume
+            manager.save(
+                SolverCheckpoint(
+                    solver=_CHECKPOINT_SOLVER,
+                    iteration=int(done.sum()),
+                    arrays=arrays,
+                    scalars=scalars,
+                )
+            )
+
+        # Plan the chunk ranges up front: completed (resumed) chunks are
+        # dropped before the reader ever sees them, and max_chunks
+        # truncates the plan so a "kill" run never reads ahead of what
+        # it will solve.
+        all_ranges = [
+            (start, min(start + chunk_slices, num_slices))
+            for start in range(0, num_slices, chunk_slices)
+        ]
+        pending = [(a, b) for a, b in all_ranges if not done[a:b].all()]
+        stopped_early = max_chunks is not None and len(pending) > max_chunks
+        if stopped_early:
+            pending = pending[:max_chunks]
+
+        reporter = None
+        if progress is True:
+            reporter = ConveyorProgress(num_slices)
+        elif progress:
+            reporter = progress
+
         chunk_records: list[dict] = []
         solve_seconds = 0.0
-        processed = 0
-        stopped_early = False
 
-        for start in range(0, num_slices, chunk_slices):
-            stop = min(start + chunk_slices, num_slices)
-            if done[start:stop].all():
-                continue
-            if max_chunks is not None and processed >= max_chunks:
-                stopped_early = True
-                break
-            with span("pipeline.chunk", start=start, stop=stop):
-                ctx.info["slice_offset"] = start
-                chunk = raw_stack[start:stop]
-                for stage in stages:
-                    chunk = stage(chunk, ctx)
+        conveyor = Conveyor(source, pending, sink=sink, prefetch=prefetch)
+        with conveyor:
+            for start, stop, chunk in conveyor.chunks():
+                with span("pipeline.chunk", start=start, stop=stop):
+                    ctx.info["slice_offset"] = start
+                    for stage in stages:
+                        chunk = stage(chunk, ctx)
 
-                # Right-hand sides go straight to the operator's solve
-                # precision: stacking to float64 first would silently
-                # double the chunk's memory on the fp32 path.
-                Y = np.stack(
-                    [operator.sinogram_to_ordered(chunk[k]) for k in range(chunk.shape[0])],
-                    axis=1,
-                ).astype(solver_dtype(operator))
-                if solver == "mlem":
-                    # MLEM models counts; conditioning noise can leave
-                    # slightly negative line integrals — clip at zero.
-                    np.maximum(Y, 0.0, out=Y)
+                    # Right-hand sides go straight to the operator's solve
+                    # precision: stacking to float64 first would silently
+                    # double the chunk's memory on the fp32 path.
+                    Y = np.stack(
+                        [operator.sinogram_to_ordered(chunk[k]) for k in range(chunk.shape[0])],
+                        axis=1,
+                    ).astype(solver_dtype(operator))
+                    if solver == "mlem":
+                        # MLEM models counts; conditioning noise can leave
+                        # slightly negative line integrals — clip at zero.
+                        np.maximum(Y, 0.0, out=Y)
 
-                t0 = time.perf_counter()
-                with span("pipeline.solve", solver=solver, batch=Y.shape[1]):
-                    if batch:
-                        result = _solve_chunk_batched(
-                            solver, operator, Y, iterations, tolerance, solver_kwargs
-                        )
-                        X, iters = result.X, result.iterations.tolist()
+                    t0 = time.perf_counter()
+                    with span("pipeline.solve", solver=solver, batch=Y.shape[1]):
+                        if batch:
+                            result = _solve_chunk_batched(
+                                solver, operator, Y, iterations, tolerance, solver_kwargs
+                            )
+                            X, iters = result.X, result.iterations.tolist()
+                        else:
+                            X, iters = _solve_chunk_looped(
+                                solver,
+                                operator,
+                                Y,
+                                iterations,
+                                tolerance,
+                                solver_kwargs,
+                                backend=slice_backend,
+                            )
+                    chunk_seconds = time.perf_counter() - t0
+                    solve_seconds += chunk_seconds
+
+                    slab = np.stack(
+                        [
+                            operator.ordered_to_image(np.ascontiguousarray(X[:, k]))
+                            for k in range(stop - start)
+                        ]
+                    )
+                    if sink is None:
+                        volume[start:stop] = slab
+                        done[start:stop] = True
                     else:
-                        X, iters = _solve_chunk_looped(
-                            solver,
-                            operator,
-                            Y,
-                            iterations,
-                            tolerance,
-                            solver_kwargs,
-                            backend=slice_backend,
-                        )
-                chunk_seconds = time.perf_counter() - t0
-                solve_seconds += chunk_seconds
-
-                for k in range(stop - start):
-                    volume[start + k] = operator.ordered_to_image(
-                        np.ascontiguousarray(X[:, k])
+                        conveyor.put(start, stop, slab)
+                        # Only writer-confirmed slabs may enter the done
+                        # mask: a slab parked in the write queue is lost
+                        # on a crash, and resume must re-solve it.
+                        for a, b in conveyor.take_written():
+                            done[a:b] = True
+                    add_count(PIPELINE_CHUNKS, 1)
+                    add_count(PIPELINE_SLICES, stop - start)
+                    chunk_records.append(
+                        {
+                            "start": start,
+                            "stop": stop,
+                            "seconds": chunk_seconds,
+                            "iterations": iters,
+                        }
                     )
-                done[start:stop] = True
-                add_count(PIPELINE_CHUNKS, 1)
-                add_count(PIPELINE_SLICES, stop - start)
-                chunk_records.append(
-                    {
-                        "start": start,
-                        "stop": stop,
-                        "seconds": chunk_seconds,
-                        "iterations": iters,
-                    }
-                )
-                processed += 1
-
-                if manager is not None:
-                    scalars = {}
-                    if "center_shift" in ctx.info:
-                        scalars["center_shift"] = float(ctx.info["center_shift"])
-                    manager.save(
-                        SolverCheckpoint(
-                            solver=_CHECKPOINT_SOLVER,
-                            iteration=int(done.sum()),
-                            arrays={
-                                "volume": volume,
-                                "done": done.astype(np.uint8),
-                                "fingerprint": fingerprint,
-                            },
-                            scalars=scalars,
-                        )
-                    )
+                    save_checkpoint()
+                    if reporter is not None:
+                        reporter.update(int(done.sum()), conveyor.backlog)
+            conveyor.finish()
+        if sink is not None:
+            for a, b in conveyor.take_written():
+                done[a:b] = True
+            # The in-flight slabs are durable now; record the final mask.
+            save_checkpoint()
+            if done.all():
+                output_path = sink.finalize()
+                if output_path is not None:
+                    extra["output_path"] = str(output_path)
+        if reporter is not None:
+            reporter.done()
+    source.close()
 
     stage_times = dict(ctx.stage_times)
     extra["stage_times"] = {**stage_times, "solve": solve_seconds}
@@ -441,5 +633,6 @@ def reconstruct_stack(
         stage_times=stage_times,
         solve_seconds=solve_seconds,
         total_seconds=time.perf_counter() - t_start,
+        total_slices=num_slices,
         extra=extra,
     )

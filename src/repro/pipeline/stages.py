@@ -13,11 +13,13 @@ next to solve cost.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..obs import span
+from ..persist import raw_buffer
 from .center import CENTER_METHODS, find_center_shift
 
 __all__ = [
@@ -54,6 +56,28 @@ class Stage:
 
     def apply(self, chunk: np.ndarray, ctx: StageContext) -> np.ndarray:
         raise NotImplementedError
+
+    def signature(self) -> str:
+        """Stable digest of this stage's configuration.
+
+        Folded into the stack-checkpoint fingerprint: two runs whose
+        conditioning chains differ in any parameter — a ring window, a
+        center method, the calibration frames themselves — must refuse
+        to share a checkpoint.  Array-valued parameters contribute a
+        content hash; everything else its ``repr``.
+        """
+        parts = []
+        for key in sorted(vars(self)):
+            value = vars(self)[key]
+            if isinstance(value, np.ndarray):
+                digest = hashlib.sha256()
+                digest.update(str(value.shape).encode())
+                digest.update(str(value.dtype).encode())
+                digest.update(raw_buffer(value))
+                parts.append(f"{key}=ndarray:{digest.hexdigest()[:16]}")
+            else:
+                parts.append(f"{key}={value!r}")
+        return f"{self.name}({', '.join(parts)})"
 
     def __call__(self, chunk: np.ndarray, ctx: StageContext) -> np.ndarray:
         chunk = np.asarray(chunk, dtype=np.float64)

@@ -304,14 +304,19 @@ class TestExecutor:
         assert len(cap.find_spans("pipeline.chunk")) == 3
 
     def test_memory_budget_chunking(self, demo):
-        per_slice = 8 * (4 * demo.operator.num_rays + 4 * demo.operator.num_pixels)
+        op = demo.operator
+        num_slices = demo.sinograms.shape[0]
+        # Budget model: per-slice solver vectors + the raw chunk row,
+        # plus the fixed in-memory output volume carved out up front.
+        per_slice = 8 * (4 * op.num_rays + 4 * op.num_pixels) + 8 * op.num_rays
+        volume = 8 * op.num_pixels * num_slices
         result = reconstruct_stack(
             demo.sinograms,
             demo.geometry,
             stages=[],
             iterations=1,
-            memory_budget_bytes=3 * per_slice,
-            operator=demo.operator,
+            memory_budget_bytes=volume + 3 * per_slice,
+            operator=op,
         )
         assert len(result.chunks) == 2
         assert result.chunks[0]["stop"] - result.chunks[0]["start"] == 3
@@ -321,6 +326,36 @@ class TestExecutor:
         assert chunk_slices_for_budget(10**12, 1000, 1000, 8) == 8
         with pytest.raises(ValueError, match="budget"):
             chunk_slices_for_budget(0, 1000, 1000, 8)
+
+    def test_budget_is_dtype_aware(self):
+        # fp32 solver vectors are half the size, so the same budget
+        # fits at least as many (here: twice as many) slices.
+        budget = 10 * 8 * (4 * 1000 + 4 * 1000)
+        fp64 = chunk_slices_for_budget(
+            budget, 1000, 1000, 1000, itemsize=8, volume_in_memory=False
+        )
+        fp32 = chunk_slices_for_budget(
+            budget, 1000, 1000, 1000, itemsize=4, volume_in_memory=False
+        )
+        assert fp32 > fp64
+
+    def test_budget_accounts_for_volume_and_prefetch(self):
+        budget = 100 * 8 * (4 * 1000 + 4 * 1000)
+        streamed = chunk_slices_for_budget(
+            budget, 1000, 1000, 10**6, volume_in_memory=False
+        )
+        resident = chunk_slices_for_budget(
+            budget, 1000, 1000, 10**6, volume_in_memory=True
+        )
+        # A million-slice in-memory volume eats the whole budget; the
+        # streamed path still gets real chunks out of it.
+        assert resident == 1
+        assert streamed > 1
+        # Each prefetched chunk parks another raw copy in the queue.
+        eager = chunk_slices_for_budget(
+            budget, 1000, 1000, 10**6, volume_in_memory=False, prefetch=4
+        )
+        assert eager < streamed
 
     def test_rejects_both_chunking_knobs(self, demo):
         with pytest.raises(ValueError, match="not both"):
@@ -425,6 +460,82 @@ class TestCheckpointResume:
         with pytest.raises(CheckpointError):
             self._run(demo, tmp_path, checkpoint=tmp_path / "absent.npz", resume=True)
 
+    def test_tolerance_change_rejected(self, demo, tmp_path):
+        # Tolerance changes the per-slice stopping point, hence the
+        # volume; it must be bound into the fingerprint.
+        path = tmp_path / "tol.npz"
+        self._run(demo, tmp_path, checkpoint=path, max_chunks=1, tolerance=0.0)
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            self._run(demo, tmp_path, checkpoint=path, resume=True, tolerance=1e-3)
+
+    def test_iteration_change_rejected(self, demo, tmp_path):
+        path = tmp_path / "it.npz"
+        self._run(demo, tmp_path, checkpoint=path, max_chunks=1)
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            reconstruct_stack(
+                demo.sinograms,
+                demo.geometry,
+                stages=[],
+                solver="cg",
+                iterations=6,
+                chunk_slices=2,
+                operator=demo.operator,
+                checkpoint=path,
+                resume=True,
+            )
+
+    def test_stage_chain_change_rejected(self, demo, tmp_path):
+        # The old fingerprint ignored conditioning entirely: a resume
+        # with a different ring window (or any stage change) silently
+        # blended two pipelines into one volume.
+        path = tmp_path / "st.npz"
+        kwargs = dict(
+            solver="cg", iterations=5, chunk_slices=2, operator=demo.operator
+        )
+        reconstruct_stack(
+            demo.sinograms,
+            demo.geometry,
+            stages=[RingSuppression(window=5)],
+            checkpoint=path,
+            max_chunks=1,
+            **kwargs,
+        )
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            reconstruct_stack(
+                demo.sinograms,
+                demo.geometry,
+                stages=[RingSuppression(window=7)],
+                checkpoint=path,
+                resume=True,
+                **kwargs,
+            )
+
+    def test_solver_kwargs_change_rejected(self, demo, tmp_path):
+        path = tmp_path / "kw.npz"
+        kwargs = dict(
+            stages=[], solver="sirt", iterations=5, chunk_slices=2,
+            operator=demo.operator, checkpoint=path,
+        )
+        reconstruct_stack(demo.sinograms, demo.geometry, max_chunks=1, **kwargs)
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            reconstruct_stack(
+                demo.sinograms, demo.geometry, resume=True, relaxation=0.5, **kwargs
+            )
+
+    def test_calibration_change_rejected(self, tmp_path):
+        d = demo_stack(size=32, num_slices=4, num_angles=48, poisson=False)
+        path = tmp_path / "cal.npz"
+        kwargs = dict(solver="cg", iterations=4, chunk_slices=2, operator=d.operator)
+        reconstruct_stack(
+            d.raw, d.geometry, darks=d.darks, flats=d.flats,
+            checkpoint=path, max_chunks=1, **kwargs,
+        )
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            reconstruct_stack(
+                d.raw, d.geometry, darks=d.darks * 1.01, flats=d.flats,
+                checkpoint=path, resume=True, **kwargs,
+            )
+
     def test_non_pipeline_checkpoint_rejected(self, demo, tmp_path):
         from repro.resilience import CheckpointManager, SolverCheckpoint
 
@@ -434,6 +545,46 @@ class TestCheckpointResume:
         )
         with pytest.raises(CheckpointError, match="pipeline"):
             self._run(demo, tmp_path, checkpoint=path, resume=True)
+
+
+class TestOperatorOverrides:
+    def test_dtype_mismatch_with_operator_raises(self, demo):
+        # The old behaviour silently ignored dtype= and returned a
+        # volume at the operator's precision, not the requested one.
+        with pytest.raises(ValueError, match="dtype"):
+            reconstruct_stack(
+                demo.sinograms,
+                demo.geometry,
+                stages=[],
+                iterations=2,
+                operator=demo.operator,
+                dtype="float32",
+            )
+
+    def test_matching_dtype_with_operator_accepted(self, demo):
+        from repro.core import OperatorConfig, preprocess
+
+        op32, _ = preprocess(demo.geometry, config=OperatorConfig(dtype="float32"))
+        result = reconstruct_stack(
+            demo.sinograms,
+            demo.geometry,
+            stages=[],
+            iterations=2,
+            operator=op32,
+            dtype="fp32",  # alias of the operator's own precision
+        )
+        assert result.volume.shape == demo.truth.shape
+
+    def test_tune_with_operator_warns(self, demo):
+        with pytest.warns(UserWarning, match="prebuilt operator"):
+            reconstruct_stack(
+                demo.sinograms,
+                demo.geometry,
+                stages=[],
+                iterations=2,
+                operator=demo.operator,
+                tune="auto",
+            )
 
 
 class TestPipelineCLI:
@@ -476,3 +627,29 @@ class TestPipelineCLI:
 
         assert main(["pipeline", "run", "--cache", "off"]) == 2
         assert "provide --input" in capsys.readouterr().err
+
+    def test_make_demo_then_streamed_run(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.dataio import load_volume
+
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "pipeline", "make-demo", "--slices", "4", "--size", "32",
+                "--shard-slices", "2", "--cache", "off", "-o", "stack",
+            ]
+        )
+        assert code == 0
+        assert "wrote demo stack" in capsys.readouterr().out
+        code = main(
+            [
+                "pipeline", "run", "--input", "stack", "--iterations", "3",
+                "--chunk-slices", "2", "--prefetch", "2", "--cache", "off",
+                "-o", "out",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4/4 slices" in out
+        assert "streamed volume finalized" in out
+        assert load_volume(tmp_path / "out").shape == (4, 32, 32)
