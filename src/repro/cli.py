@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands cover the beamline workflow:
+Twelve subcommands cover the beamline workflow:
 
 * ``info``        — list datasets (Table 3) and machine models (Table 2);
 * ``preprocess``  — memoize a scan geometry into an operator file;
@@ -16,7 +16,12 @@ Eight subcommands cover the beamline workflow:
 * ``cache``       — list / inspect / clear / prune the persistent
   operator-plan cache (see ``docs/persistence.md``);
 * ``tune``        — run / show / clear autotuned kernel configurations
-  (see ``docs/autotuning.md``).
+  (see ``docs/autotuning.md``);
+* ``serve``       — run the crash-safe journaled reconstruction job
+  server (admission control, coalesced batching, deadlines; see
+  ``docs/service.md``);
+* ``submit`` / ``status`` / ``result`` — client commands against a
+  running server: send a sinogram, poll a job, fetch its image.
 
 ``preprocess``, ``reconstruct`` and ``pipeline`` additionally accept
 ``--dtype float32|float64`` (compute precision) and ``--tune
@@ -222,7 +227,7 @@ def _cmd_pipeline_make_demo(args: argparse.Namespace) -> int:
     )
     path = write_stack_dataset(
         args.output, demo.raw, demo.darks, demo.flats,
-        shard_slices=args.shard_slices,
+        shard_slices=args.shard_slices, compress=args.compress,
     )
     s, a, c = demo.raw.shape
     print(f"wrote demo stack ({s} slices x {a} angles x {c} channels) to {path}")
@@ -298,6 +303,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         dtype=args.dtype,
         tune=args.tune,
         sink=sink,
+        compress=args.compress,
         prefetch=args.prefetch,
         progress=args.progress,
     )
@@ -576,6 +582,122 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_sinogram_file(path: str) -> "np.ndarray":
+    """A 2-D sinogram from a .npy file or a .npz archive."""
+    p = Path(path)
+    if p.suffix == ".npy":
+        sinogram = np.load(p, allow_pickle=False)
+    else:
+        with np.load(p, allow_pickle=False) as data:
+            if "sinogram" in data.files:
+                sinogram = data["sinogram"]
+            elif len(data.files) == 1:
+                sinogram = data[data.files[0]]
+            else:
+                raise ValueError(
+                    f"{path} has no 'sinogram' array (found {data.files})"
+                )
+    sinogram = np.asarray(sinogram, dtype=np.float64)
+    if sinogram.ndim != 2:
+        raise ValueError(f"sinogram must be 2-D, got shape {sinogram.shape}")
+    return sinogram
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import ReconService, ServiceConfig, ServiceFaultConfig, serve
+    from .resilience import RetryPolicy
+
+    faults = None
+    if args.faults:
+        faults = ServiceFaultConfig.parse(args.faults)
+    config = ServiceConfig(
+        spool=args.spool,
+        queue_limit=args.queue_limit,
+        max_batch=args.max_batch,
+        coalesce_window_s=args.coalesce_window,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        retry=RetryPolicy(
+            max_retries=args.retries, backoff_base=args.backoff
+        ),
+        cache=args.cache,
+        kernel=args.kernel,
+        faults=faults,
+    )
+    engine = ReconService(config)
+
+    def ready(server):
+        # One machine-readable line so scripts (and the CI kill -9
+        # battery) can discover an ephemeral --port 0 binding; also
+        # dropped in the spool for out-of-band discovery.
+        doc = {"event": "listening", "host": args.host, "port": server.port}
+        print(_json.dumps(doc), flush=True)
+        (Path(args.spool) / "server.json").write_text(_json.dumps(doc) + "\n")
+
+    return serve(
+        engine, args.host, args.port,
+        verbose=args.verbose, ready_callback=ready,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    sinogram = _load_sinogram_file(args.sinogram)
+    client = ServiceClient(args.url)
+    spec = {
+        "tenant": args.tenant,
+        "solver": args.solver,
+        "iterations": args.iterations,
+        "tolerance": args.tolerance,
+    }
+    if args.dtype:
+        spec["dtype"] = args.dtype
+    if args.deadline is not None:
+        spec["deadline_s"] = args.deadline
+    if args.checkpoint_every:
+        spec["checkpoint_every"] = args.checkpoint_every
+    ack = client.submit(sinogram, spec)
+    print(f"accepted job {ack['job_id']} ({ack['state']})")
+    if not args.wait:
+        return 0
+    final = client.wait(ack["job_id"], timeout=args.timeout)
+    print(f"job {ack['job_id']} {final['state']} "
+          f"(attempts {final['attempts']}, batch {final['batch_size']})")
+    if final["state"] != "done":
+        return 1
+    if args.output:
+        image = client.result(ack["job_id"])
+        np.savez(args.output, image=image)
+        print(f"wrote {image.shape[0]}x{image.shape[1]} image to {args.output}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import ServiceClient
+
+    doc = ServiceClient(args.url).status(args.job_id)
+    print(_json.dumps(doc, indent=2))
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    from .service import JobFailedError, ServiceClient
+
+    try:
+        image = ServiceClient(args.url).result(args.job_id)
+    except JobFailedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    np.savez(args.output, image=image)
+    print(f"wrote {image.shape[0]}x{image.shape[1]} image to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="MemXCT reproduction command-line interface"
@@ -769,6 +891,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="slices per shard when make-demo writes a directory",
     )
     p.add_argument(
+        "--compress", action="store_true",
+        help="deflate npz shards (make-demo input shards and run's "
+        "shard-directory output); trades write CPU for disk bytes",
+    )
+    p.add_argument(
         "--output", "-o", default="volume.npz",
         help="volume destination: .npz accumulates in memory; a directory "
         "or .raw path streams slabs to disk chunk-by-chunk (make-demo: "
@@ -823,6 +950,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="tune for this compute precision (records are per-dtype)",
     )
 
+    p = sub.add_parser(
+        "serve",
+        help="run the journaled reconstruction job server (docs/service.md)",
+        parents=[cache_flags],
+    )
+    p.add_argument("--spool", required=True, metavar="DIR",
+                   help="durable spool directory (journal + job archives)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8780,
+                   help="TCP port (0 binds an ephemeral port, reported as a "
+                   "JSON line and in <spool>/server.json)")
+    p.add_argument("--queue-limit", type=int, default=16,
+                   help="max admitted (queued + running) jobs before 429")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="max compatible jobs coalesced into one batched solve")
+    p.add_argument("--coalesce-window", type=float, default=0.005,
+                   metavar="SECONDS",
+                   help="how long the scheduler waits for batchable peers")
+    p.add_argument("--rate-limit", type=float, default=None, metavar="PER_S",
+                   help="per-tenant sustained submissions/second (default: off)")
+    p.add_argument("--rate-burst", type=float, default=4.0,
+                   help="per-tenant burst allowance")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget for transiently failed jobs")
+    p.add_argument("--backoff", type=float, default=0.05, metavar="SECONDS",
+                   help="first-retry backoff (doubles per attempt)")
+    p.add_argument("--kernel", default="buffered",
+                   choices=("csr", "buffered", "ell"),
+                   help="SpMV kernel for service operators (ell amortizes "
+                   "best across coalesced multi-RHS batches)")
+    p.add_argument("--faults", metavar="SPEC",
+                   help="inject seeded service faults, e.g. "
+                   "'drop=0.1,crash=0.2,seed=7' (or REPRO_SERVICE_FAULTS)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+
+    p = sub.add_parser(
+        "submit", help="submit a sinogram to a running job server"
+    )
+    p.add_argument("sinogram", help=".npy file or .npz with a 'sinogram' array")
+    p.add_argument("--url", default="http://127.0.0.1:8780")
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--solver", default="cg", choices=("cg", "sirt", "mlem"))
+    p.add_argument("--iterations", type=int, default=30)
+    p.add_argument("--tolerance", type=float, default=0.0)
+    p.add_argument("--dtype", default=None, choices=("float32", "float64"))
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="cancel the job if not finished this many seconds "
+                   "after acceptance")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="checkpoint the solve every N iterations (solo job, "
+                   "bit-exact resume after a server crash)")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job is terminal")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="--wait budget in seconds")
+    p.add_argument("--output", "-o", default=None, metavar="FILE",
+                   help="with --wait: write the finished image to FILE (.npz)")
+
+    p = sub.add_parser("status", help="query a job's state")
+    p.add_argument("job_id")
+    p.add_argument("--url", default="http://127.0.0.1:8780")
+
+    p = sub.add_parser("result", help="fetch a finished job's image")
+    p.add_argument("job_id")
+    p.add_argument("--url", default="http://127.0.0.1:8780")
+    p.add_argument("--output", "-o", default="result.npz", metavar="FILE")
+
     return parser
 
 
@@ -857,6 +1052,10 @@ def main(argv: list[str] | None = None) -> int:
         "scale": _cmd_scale,
         "cache": _cmd_cache,
         "tune": _cmd_tune,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "result": _cmd_result,
     }
     handler = handlers[args.command]
     trace_file = getattr(args, "trace", None)

@@ -33,14 +33,23 @@ import queue
 import threading
 import time
 
+from zipfile import BadZipFile
+
 from ..obs import (
     DATAIO_BYTES_READ,
     DATAIO_BYTES_WRITTEN,
     DATAIO_QUEUE_DEPTH,
+    DATAIO_READ_RETRIES,
     DATAIO_READ_SECONDS,
     DATAIO_WRITE_SECONDS,
     add_count,
 )
+from ..resilience import RetryPolicy
+
+#: Read failures worth retrying: I/O hiccups (network filesystems,
+#: contended disks) and the partial/truncated archives a concurrently
+#: rewritten shard can briefly expose.  Anything else re-raises at once.
+_TRANSIENT_READ_ERRORS = (OSError, BadZipFile, ValueError)
 
 __all__ = ["Conveyor", "ConveyorProgress"]
 
@@ -74,20 +83,27 @@ class Conveyor:
     any deferred worker error, and returns the written ranges.
     """
 
-    def __init__(self, source, ranges, sink=None, prefetch: int = 0):
+    def __init__(self, source, ranges, sink=None, prefetch: int = 0,
+                 read_retry: RetryPolicy | None = None):
         if prefetch < 0:
             raise ValueError(f"prefetch must be >= 0, got {prefetch}")
         self.source = source
         self.sink = sink
         self.ranges = [(int(a), int(b)) for a, b in ranges]
         self.prefetch = int(prefetch)
+        self.read_retry = (
+            read_retry if read_retry is not None
+            else RetryPolicy(max_retries=2, backoff_base=0.05, backoff_cap=1.0)
+        )
         self._stop = threading.Event()
         self._lock = threading.Lock()
         self._read_seconds = 0.0
         self._write_seconds = 0.0
         self._read_bytes = 0
         self._write_bytes = 0
-        self._emitted = {"read": 0.0, "write": 0.0, "rbytes": 0, "wbytes": 0}
+        self._read_retries = 0
+        self._emitted = {"read": 0.0, "write": 0.0, "rbytes": 0, "wbytes": 0,
+                         "retries": 0}
         self._read_error: BaseException | None = None
         self._write_error: BaseException | None = None
         self._written: list[tuple[int, int]] = []
@@ -110,13 +126,36 @@ class Conveyor:
 
     # -- worker loops ----------------------------------------------------
 
+    def _read_chunk(self, start: int, stop: int):
+        """``source.read`` under the bounded transient-failure retry.
+
+        Exhausting the budget re-raises the last error — the conveyor's
+        normal deferred-error path then surfaces it to the caller.
+        Safe on both the reader thread and the synchronous path; retry
+        counts accumulate under the lock and are emitted (as
+        ``dataio.read_retries``) only from the caller's thread.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self.source.read(start, stop)
+            except _TRANSIENT_READ_ERRORS:
+                if self.read_retry.exhausted(attempt):
+                    raise
+                with self._lock:
+                    self._read_retries += 1
+                # Interruptible backoff: an abort mid-retry stops the
+                # wait and the next loop either succeeds fast or raises.
+                self._stop.wait(self.read_retry.delay(attempt))
+                attempt += 1
+
     def _read_loop(self) -> None:
         try:
             for start, stop in self.ranges:
                 if self._stop.is_set():
                     break
                 t0 = time.perf_counter()
-                chunk = self.source.read(start, stop)
+                chunk = self._read_chunk(start, stop)
                 elapsed = time.perf_counter() - t0
                 with self._lock:
                     self._read_seconds += elapsed
@@ -171,10 +210,11 @@ class Conveyor:
         if self.prefetch == 0:
             for start, stop in self.ranges:
                 t0 = time.perf_counter()
-                chunk = self.source.read(start, stop)
+                chunk = self._read_chunk(start, stop)
                 add_count(DATAIO_READ_SECONDS, time.perf_counter() - t0)
                 add_count(DATAIO_BYTES_READ, int(chunk.nbytes))
                 add_count(DATAIO_QUEUE_DEPTH, 0)
+                self._emit_stats()  # publishes any read-retry counts
                 yield start, stop, chunk
             return
         while True:
@@ -277,14 +317,16 @@ class Conveyor:
                 self._write_seconds - self._emitted["write"],
                 self._read_bytes - self._emitted["rbytes"],
                 self._write_bytes - self._emitted["wbytes"],
+                self._read_retries - self._emitted["retries"],
             )
             self._emitted = {
                 "read": self._read_seconds,
                 "write": self._write_seconds,
                 "rbytes": self._read_bytes,
                 "wbytes": self._write_bytes,
+                "retries": self._read_retries,
             }
-        read_s, write_s, read_b, write_b = deltas
+        read_s, write_s, read_b, write_b, retries = deltas
         if read_s > 0:
             add_count(DATAIO_READ_SECONDS, read_s)
         if write_s > 0:
@@ -293,6 +335,8 @@ class Conveyor:
             add_count(DATAIO_BYTES_READ, read_b)
         if write_b > 0:
             add_count(DATAIO_BYTES_WRITTEN, write_b)
+        if retries > 0:
+            add_count(DATAIO_READ_RETRIES, retries)
 
     def _raise_pending(self) -> None:
         if self._write_error is not None:
@@ -316,21 +360,32 @@ class ConveyorProgress:
     quiet.
     """
 
-    def __init__(self, total_slices: int, stream=None):
+    def __init__(self, total_slices: int, stream=None, *, initial_done: int = 0,
+                 clock=time.perf_counter):
         import sys
 
         self.total = int(total_slices)
         self.stream = stream if stream is not None else sys.stderr
-        self._t0 = time.perf_counter()
+        self._clock = clock
+        self._t0 = clock()
         self._chunks = 0
         self._dirty = False
+        # Slices completed before this run started (a resumed
+        # checkpoint): they cost this run no wall time, so they must
+        # not inflate the observed rate — a resume that "finished" 90%
+        # instantly would otherwise advertise a wildly optimistic ETA.
+        self._initial_done = max(0, int(initial_done))
 
     def update(self, done_slices: int, backlog: tuple[int, int]) -> None:
         self._chunks += 1
-        elapsed = time.perf_counter() - self._t0
-        rate = done_slices / elapsed if elapsed > 0 else 0.0
-        remaining = self.total - done_slices
-        eta = remaining / rate if rate > 0 else float("inf")
+        elapsed = self._clock() - self._t0
+        done_this_run = max(0, done_slices - self._initial_done)
+        # Guard the first chunk landing within clock resolution of t0:
+        # a ~0 denominator yields a nonsense rate (and a negative one
+        # is impossible, but clamp anyway rather than print it).
+        rate = done_this_run / elapsed if elapsed > 1e-6 else 0.0
+        remaining = max(0, self.total - done_slices)
+        eta = max(0.0, remaining / rate) if rate > 0 else float("inf")
         eta_text = f"{eta:5.1f}s" if eta != float("inf") else "   ?  "
         depth, pending = backlog
         self.stream.write(

@@ -213,16 +213,25 @@ class RawVolumeSink(ChunkSink):
             self._fh = None
 
 
-def make_sink(destination, num_slices: int, n: int, *, resume: bool = True) -> ChunkSink:
+def make_sink(destination, num_slices: int, n: int, *, resume: bool = True,
+              compress: bool = False) -> ChunkSink:
     """Map an output destination to a sink.
 
     ``.raw`` → :class:`RawVolumeSink`; anything without an ``.npz``
     suffix → :class:`NpzShardSink` directory.  (``.npz`` outputs stay
     on the in-memory path — one archive cannot be written
     incrementally — so callers handle them with ``sink=None``.)
+    ``compress=True`` writes deflated shard archives — a trade of
+    write CPU for disk/network bytes that only the shard format can
+    make, so asking for it on a ``.raw`` destination raises.
     """
     destination = Path(destination)
     if destination.suffix == ".raw":
+        if compress:
+            raise ValueError(
+                "a .raw volume is flat offset-addressed bytes and cannot "
+                "be compressed; use a shard-directory destination"
+            )
         return RawVolumeSink(destination, num_slices, n, resume=resume)
     if destination.suffix == ".npz":
         raise ValueError(
@@ -230,7 +239,8 @@ def make_sink(destination, num_slices: int, n: int, *, resume: bool = True) -> C
             "sink=None (in-memory) for .npz outputs, or use a directory "
             "or .raw destination"
         )
-    return NpzShardSink(destination, num_slices, n, resume=resume)
+    return NpzShardSink(destination, num_slices, n, resume=resume,
+                        compress=compress)
 
 
 def load_volume(source) -> np.ndarray:

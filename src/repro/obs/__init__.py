@@ -49,6 +49,7 @@ from .counters import (
     DATAIO_BYTES_READ,
     DATAIO_BYTES_WRITTEN,
     DATAIO_QUEUE_DEPTH,
+    DATAIO_READ_RETRIES,
     DATAIO_READ_SECONDS,
     DATAIO_WRITE_SECONDS,
     FAULT_CORRUPTIONS,
@@ -65,6 +66,16 @@ from .counters import (
     PIPELINE_CHUNKS,
     PIPELINE_RESUMED_SLICES,
     PIPELINE_SLICES,
+    SERVICE_BATCHES,
+    SERVICE_COALESCED_JOBS,
+    SERVICE_COMPLETED,
+    SERVICE_EXPIRED,
+    SERVICE_FAILED,
+    SERVICE_JOURNAL_RECORDS,
+    SERVICE_RECOVERED,
+    SERVICE_REJECTED,
+    SERVICE_RETRIES,
+    SERVICE_SUBMITTED,
     SOLVER_ITERATIONS,
     DTYPE_FP32_SPMV,
     DTYPE_FP64_SPMV,
@@ -98,6 +109,7 @@ __all__ = [
     "DATAIO_BYTES_READ",
     "DATAIO_BYTES_WRITTEN",
     "DATAIO_QUEUE_DEPTH",
+    "DATAIO_READ_RETRIES",
     "DATAIO_READ_SECONDS",
     "DATAIO_WRITE_SECONDS",
     "DTYPE_FP32_SPMV",
@@ -116,6 +128,16 @@ __all__ = [
     "PIPELINE_CHUNKS",
     "PIPELINE_RESUMED_SLICES",
     "PIPELINE_SLICES",
+    "SERVICE_BATCHES",
+    "SERVICE_COALESCED_JOBS",
+    "SERVICE_COMPLETED",
+    "SERVICE_EXPIRED",
+    "SERVICE_FAILED",
+    "SERVICE_JOURNAL_RECORDS",
+    "SERVICE_RECOVERED",
+    "SERVICE_REJECTED",
+    "SERVICE_RETRIES",
+    "SERVICE_SUBMITTED",
     "SOLVER_ITERATIONS",
     "SPMV_CALLS",
     "SPMV_FLOPS",

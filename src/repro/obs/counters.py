@@ -56,6 +56,17 @@ __all__ = [
     "DATAIO_QUEUE_DEPTH",
     "DATAIO_BYTES_READ",
     "DATAIO_BYTES_WRITTEN",
+    "DATAIO_READ_RETRIES",
+    "SERVICE_SUBMITTED",
+    "SERVICE_REJECTED",
+    "SERVICE_COMPLETED",
+    "SERVICE_FAILED",
+    "SERVICE_EXPIRED",
+    "SERVICE_RETRIES",
+    "SERVICE_BATCHES",
+    "SERVICE_COALESCED_JOBS",
+    "SERVICE_RECOVERED",
+    "SERVICE_JOURNAL_RECORDS",
     "PARALLEL_TASKS",
     "PARALLEL_DISPATCHES",
     "PARALLEL_SHM_BYTES",
@@ -126,6 +137,28 @@ DATAIO_QUEUE_DEPTH = "dataio.queue_depth"
 DATAIO_BYTES_READ = "dataio.bytes_read"
 #: Volume bytes pushed into chunk sinks.
 DATAIO_BYTES_WRITTEN = "dataio.bytes_written"
+#: Source reads re-attempted after a transient failure (OSError etc.).
+DATAIO_READ_RETRIES = "dataio.read_retries"
+#: Jobs offered to the service (accepted or rejected).
+SERVICE_SUBMITTED = "service.submitted"
+#: Submissions rejected with backpressure (queue full / rate limit).
+SERVICE_REJECTED = "service.rejected"
+#: Jobs finished with a durable result.
+SERVICE_COMPLETED = "service.completed"
+#: Jobs that exhausted their retry budget (or failed permanently).
+SERVICE_FAILED = "service.failed"
+#: Jobs cancelled because their deadline passed.
+SERVICE_EXPIRED = "service.expired"
+#: Solve attempts re-run after a transient job failure.
+SERVICE_RETRIES = "service.retries"
+#: Batched solves executed by the scheduler (1 per dispatch).
+SERVICE_BATCHES = "service.batches"
+#: Jobs that shared a coalesced multi-RHS solve with at least one peer.
+SERVICE_COALESCED_JOBS = "service.coalesced_jobs"
+#: Acknowledged jobs re-queued by journal replay after a restart.
+SERVICE_RECOVERED = "service.recovered"
+#: Records appended to the job journal.
+SERVICE_JOURNAL_RECORDS = "service.journal_records"
 #: Worker tasks executed by the shared-memory parallel backend.
 PARALLEL_TASKS = "parallel.tasks"
 #: Parallel fan-outs dispatched (one per backend.map / engine apply).
@@ -179,6 +212,17 @@ CANONICAL_UNITS = {
     DATAIO_QUEUE_DEPTH: "chunk",
     DATAIO_BYTES_READ: "byte",
     DATAIO_BYTES_WRITTEN: "byte",
+    DATAIO_READ_RETRIES: "attempt",
+    SERVICE_SUBMITTED: "job",
+    SERVICE_REJECTED: "job",
+    SERVICE_COMPLETED: "job",
+    SERVICE_FAILED: "job",
+    SERVICE_EXPIRED: "job",
+    SERVICE_RETRIES: "attempt",
+    SERVICE_BATCHES: "solve",
+    SERVICE_COALESCED_JOBS: "job",
+    SERVICE_RECOVERED: "job",
+    SERVICE_JOURNAL_RECORDS: "record",
     PARALLEL_TASKS: "task",
     PARALLEL_DISPATCHES: "dispatch",
     PARALLEL_SHM_BYTES: "byte",

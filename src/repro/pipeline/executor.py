@@ -251,6 +251,7 @@ def reconstruct_stack(
     dtype: str | None = None,
     tune: str | None = None,
     sink=None,
+    compress: bool = False,
     prefetch: int = 0,
     progress=None,
     **solver_kwargs,
@@ -336,6 +337,11 @@ def reconstruct_stack(
         directory, or a ``.raw`` file).  ``StackResult.volume`` is then
         ``None`` and ``extra["output_path"]`` points at the finalized
         output.
+    compress:
+        Write deflated shard archives when ``sink`` is a shard-directory
+        path (trades write CPU for disk bytes); rejected for ``.raw``
+        destinations.  Ignored when ``sink`` is already a constructed
+        :class:`~repro.dataio.ChunkSink`.
     prefetch:
         Read-ahead depth for the overlapped conveyor; ``0`` (default)
         runs source reads and sink writes synchronously.  The streamed
@@ -449,7 +455,8 @@ def reconstruct_stack(
         )
         n = geometry.num_channels
         if sink is not None and not isinstance(sink, ChunkSink):
-            sink = make_sink(sink, num_slices, n, resume=resume)
+            sink = make_sink(sink, num_slices, n, resume=resume,
+                             compress=compress)
         volume = (
             np.zeros((num_slices, n, n), dtype=np.float64) if sink is None else None
         )
@@ -524,7 +531,7 @@ def reconstruct_stack(
 
         reporter = None
         if progress is True:
-            reporter = ConveyorProgress(num_slices)
+            reporter = ConveyorProgress(num_slices, initial_done=int(done.sum()))
         elif progress:
             reporter = progress
 

@@ -37,8 +37,10 @@ from .faults import (
     payload_crc,
 )
 from .health import HealthIncident, HealthMonitor
+from .retry import RetryPolicy
 
 __all__ = [
+    "RetryPolicy",
     "CHECKPOINT_FORMAT_VERSION",
     "CheckpointError",
     "CheckpointIntegrityWarning",

@@ -1,0 +1,56 @@
+"""Bounded retry-with-exponential-backoff, shared across layers.
+
+The reliable transport (PR 3) healed transient communication faults
+with a bounded retry loop whose simulated latency doubled per attempt
+(``backoff_base * 2**attempt``).  The same policy is what the conveyor
+reader applies to transient source-read failures and what the job
+server applies to transiently failed jobs — so the schedule lives here
+once, as data, instead of three hand-rolled loops.
+
+:class:`RetryPolicy` is pure policy: it yields the backoff delays and
+classifies attempts; callers decide what "transient" means and how the
+waiting happens (``time.sleep`` for real services, simulated charging
+for the comm model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff schedule: ``backoff_base * 2**attempt``.
+
+    ``max_retries`` counts *re*-tries: a policy with ``max_retries=2``
+    allows three total attempts.  ``backoff_cap`` bounds the delay so a
+    deep retry never sleeps unboundedly.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_cap < 0:
+            raise ValueError(f"backoff_cap must be >= 0, got {self.backoff_cap}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), capped."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        return min(self.backoff_base * (2**attempt), self.backoff_cap)
+
+    def exhausted(self, attempt: int) -> bool:
+        """Whether retry ``attempt`` (0-based) exceeds the budget."""
+        return attempt >= self.max_retries
+
+    def delays(self):
+        """The full backoff schedule, one delay per allowed retry."""
+        return [self.delay(a) for a in range(self.max_retries)]

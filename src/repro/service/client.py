@@ -1,0 +1,192 @@
+"""Stdlib client for the reconstruction service.
+
+:class:`ServiceClient` speaks the ``/v1`` API over ``urllib`` and
+owns the *client half* of the reliability contract:
+
+* connection errors and 503s (a draining server, an injected drop)
+  are retried per a shared :class:`repro.resilience.RetryPolicy`;
+* 429 backpressure honours the server's advertised ``Retry-After``
+  when ``obey_backpressure`` is on — the cooperative behaviour the
+  admission controller's estimate is computed for;
+* an acknowledged submission returns the server's status dict, whose
+  ``job_id`` is the durable handle — the server guarantees that job
+  survives any crash from this moment on.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+from ..resilience import RetryPolicy
+from .engine import JobSpec
+from .server import encode_sinogram
+
+__all__ = ["ServiceClient", "ServiceUnavailableError", "JobFailedError"]
+
+
+class ServiceUnavailableError(RuntimeError):
+    """The server stayed unreachable/backpressured past the budget."""
+
+
+class JobFailedError(RuntimeError):
+    """The server reports the job terminal without a result."""
+
+    def __init__(self, job_id: str, state: str, error: str | None):
+        super().__init__(f"job {job_id} {state}: {error or 'no result'}")
+        self.state = state
+        self.error = error
+
+
+class _HTTPError(Exception):
+    def __init__(self, code: int, doc: dict, headers):
+        super().__init__(f"HTTP {code}: {doc.get('error', '')}")
+        self.code = code
+        self.doc = doc
+        self.headers = headers
+
+
+class ServiceClient:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        retry: RetryPolicy | None = None,
+        obey_backpressure: bool = True,
+        timeout: float = 30.0,
+        sleep=time.sleep,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_retries=5, backoff_base=0.05, backoff_cap=2.0
+        )
+        self.obey_backpressure = obey_backpressure
+        self.timeout = timeout
+        self._sleep = sleep
+
+    # -- transport -------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: bytes | None = None):
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                payload = resp.read()
+                return resp.status, payload, resp.headers
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            try:
+                doc = json.loads(payload.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                doc = {"error": payload.decode("utf-8", "replace")}
+            raise _HTTPError(exc.code, doc, exc.headers) from exc
+
+    def _retry_after(self, error: _HTTPError) -> float:
+        header = error.headers.get("Retry-After") if error.headers else None
+        if header:
+            try:
+                return max(0.0, float(header))
+            except ValueError:
+                pass
+        return float(error.doc.get("retry_after_s", 1.0))
+
+    def _with_retries(self, send):
+        """Run ``send`` under the transient-failure retry budget."""
+        attempt = 0
+        while True:
+            try:
+                return send()
+            except urllib.error.URLError as exc:
+                # Connection refused/reset: server restarting.
+                if self.retry.exhausted(attempt):
+                    raise ServiceUnavailableError(
+                        f"server unreachable after {attempt} retries: {exc}"
+                    ) from exc
+                self._sleep(self.retry.delay(attempt))
+                attempt += 1
+            except _HTTPError as exc:
+                transient = exc.code == 503 or (
+                    exc.code == 429 and self.obey_backpressure
+                )
+                if not transient:
+                    raise
+                if self.retry.exhausted(attempt):
+                    raise ServiceUnavailableError(
+                        f"backpressured after {attempt} retries: {exc}"
+                    ) from exc
+                self._sleep(max(self._retry_after(exc), self.retry.delay(attempt)))
+                attempt += 1
+
+    # -- API -------------------------------------------------------------
+
+    def submit(self, sinogram, spec: JobSpec | dict) -> dict:
+        """Submit a job; returns the acknowledged status dict."""
+        if isinstance(spec, JobSpec):
+            spec_doc = spec.to_dict()
+        else:
+            sinogram = np.asarray(sinogram)
+            spec_doc = dict(spec)
+            spec_doc.setdefault("num_angles", int(sinogram.shape[0]))
+            spec_doc.setdefault("num_channels", int(sinogram.shape[1]))
+        body = dict(encode_sinogram(sinogram), spec=spec_doc)
+        payload = json.dumps(body).encode("utf-8")
+
+        def send():
+            status, data, _headers = self._request("POST", "/v1/jobs", payload)
+            return json.loads(data.decode("utf-8"))
+
+        return self._with_retries(send)
+
+    def status(self, job_id: str) -> dict:
+        def send():
+            _status, data, _headers = self._request("GET", f"/v1/jobs/{job_id}")
+            return json.loads(data.decode("utf-8"))
+
+        return self._with_retries(send)
+
+    def result(self, job_id: str) -> np.ndarray:
+        """Fetch a finished image (raises JobFailedError on failed/expired)."""
+
+        def send():
+            _status, data, _headers = self._request(
+                "GET", f"/v1/jobs/{job_id}/result"
+            )
+            return np.load(io.BytesIO(data), allow_pickle=False)
+
+        try:
+            return self._with_retries(send)
+        except _HTTPError as exc:
+            if exc.code == 410:
+                raise JobFailedError(
+                    job_id, exc.doc.get("state", "failed"), exc.doc.get("error")
+                ) from exc
+            raise
+
+    def stats(self) -> dict:
+        def send():
+            _status, data, _headers = self._request("GET", "/v1/stats")
+            return json.loads(data.decode("utf-8"))
+
+        return self._with_retries(send)
+
+    def wait(self, job_id: str, timeout: float = 60.0, poll: float = 0.05) -> dict:
+        """Poll until the job is terminal; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(job_id)
+            if doc.get("state") in ("done", "failed", "expired"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc.get('state')} after {timeout}s"
+                )
+            self._sleep(poll)

@@ -1,0 +1,183 @@
+"""Seeded fault injection for the job-service layer.
+
+:mod:`repro.resilience.faults` shakes the *communication* layer; this
+module shakes the *service* layer, so the journal/retry/recovery
+machinery can be chaos-tested deterministically:
+
+* **drop** — a submission is refused *before* it is acknowledged (the
+  client sees a 503 and retries); models a lossy front door.  Dropped
+  jobs are by construction never journaled, so they cannot count as
+  acknowledged loss.
+* **delay** — the scheduler sleeps ``delay_s`` before a solve; models
+  a slow handler / noisy neighbour.
+* **crash** — a solve raises mid-iteration; the engine's bounded
+  retry-with-backoff (:class:`repro.resilience.RetryPolicy`) re-runs
+  the job.  ``crash_first=N`` deterministically fails the first ``N``
+  solve attempts (exact retry-count assertions); ``crash=p`` fails
+  each attempt with probability ``p`` (chaos sweeps).
+* **die** — ``die_at=N`` hard-exits the process (``os._exit(137)``) at
+  the start of the ``N``-th solve dispatch: a reproducible ``kill -9``
+  for crash-recovery tests without racing a signal against the solver.
+
+Draws come from a :class:`numpy.random.Generator` seeded by the
+config, so a ``(spec, seed)`` pair replays the same fault sequence for
+a given arrival order.  Specs are compact strings for CLI/env use::
+
+    drop=0.1,delay=0.2,delay_s=0.002,crash=0.25,die_at=3,seed=42
+
+``REPRO_SERVICE_FAULTS`` activates injection ambiently, which is how
+the subprocess chaos tests arm a served engine.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ServiceFaultConfig",
+    "ServiceFaultInjector",
+    "parse_service_fault_spec",
+]
+
+_FLOAT_KEYS = ("drop", "delay", "delay_s", "crash")
+_INT_KEYS = ("crash_first", "die_at", "seed")
+
+
+@dataclass(frozen=True)
+class ServiceFaultConfig:
+    """Probabilities and schedule of the injected service faults."""
+
+    drop: float = 0.0
+    delay: float = 0.0
+    delay_s: float = 0.002
+    crash: float = 0.0
+    crash_first: int = 0
+    die_at: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "delay", "crash"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"fault probability {name}={p} must be in [0, 1)")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.crash_first < 0 or self.die_at < 0:
+            raise ValueError("crash_first/die_at must be >= 0")
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(
+            self.drop or self.delay or self.crash or self.crash_first or self.die_at
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "ServiceFaultConfig":
+        return parse_service_fault_spec(spec)
+
+    @classmethod
+    def from_env(cls) -> "ServiceFaultConfig | None":
+        """Ambient config from ``REPRO_SERVICE_FAULTS`` (None when unset)."""
+        spec = os.environ.get("REPRO_SERVICE_FAULTS", "").strip()
+        if not spec:
+            return None
+        return parse_service_fault_spec(spec)
+
+
+def parse_service_fault_spec(spec: str) -> ServiceFaultConfig:
+    """Parse ``drop=0.1,crash=0.25,die_at=3,seed=42`` into a config."""
+    kwargs: dict = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(
+                f"bad service fault spec item {item!r}: expected key=value"
+            )
+        key, _, value = item.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if key in _FLOAT_KEYS:
+            kwargs[key] = float(value)
+        elif key in _INT_KEYS:
+            kwargs[key] = int(value)
+        else:
+            raise ValueError(
+                f"unknown service fault key {key!r} "
+                f"(expected one of {sorted(_FLOAT_KEYS + _INT_KEYS)})"
+            )
+    return ServiceFaultConfig(**kwargs)
+
+
+class InjectedSolveCrash(RuntimeError):
+    """A seeded transient solve failure (healed by the retry loop)."""
+
+
+class ServiceFaultInjector:
+    """Draws service faults from a seeded RNG.
+
+    Thread-safe: admission drops are drawn from HTTP handler threads
+    while solve faults are drawn from the scheduler thread.  The draw
+    *sequence* therefore depends on arrival order; chaos tests assert
+    invariants (zero acknowledged loss, bit-exact results), not exact
+    fault placement.
+    """
+
+    def __init__(self, config: ServiceFaultConfig):
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._lock = threading.Lock()
+        self._solves = 0
+        self._attempts = 0
+        self.drops = 0
+        self.delays = 0
+        self.crashes = 0
+
+    def draw_drop(self) -> bool:
+        """Whether to refuse this submission before acknowledging it."""
+        if not self.config.drop:
+            return False
+        with self._lock:
+            hit = bool(self._rng.random() < self.config.drop)
+            if hit:
+                self.drops += 1
+            return hit
+
+    def draw_delay(self) -> float:
+        """Pre-solve delay in seconds (0.0 = none)."""
+        if not self.config.delay:
+            return 0.0
+        with self._lock:
+            if self._rng.random() < self.config.delay:
+                self.delays += 1
+                return self.config.delay_s
+            return 0.0
+
+    def draw_crash(self) -> bool:
+        """Whether this solve attempt should fail transiently."""
+        with self._lock:
+            self._attempts += 1
+            if self.config.crash_first and self._attempts <= self.config.crash_first:
+                self.crashes += 1
+                return True
+            if self.config.crash and self._rng.random() < self.config.crash:
+                self.crashes += 1
+                return True
+            return False
+
+    def on_solve_dispatch(self) -> None:
+        """Count a solve dispatch; hard-exit if it is the ``die_at``-th.
+
+        ``os._exit`` skips every cleanup hook — flushes, atexit,
+        finally blocks — which is exactly the failure mode ``kill -9``
+        produces and exactly what the journal must survive.
+        """
+        with self._lock:
+            self._solves += 1
+            if self.config.die_at and self._solves == self.config.die_at:
+                os._exit(137)

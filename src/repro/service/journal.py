@@ -1,0 +1,203 @@
+"""Crash-safe job journal and spool layout.
+
+The service's durability contract — *an acknowledged job is never
+lost* — reduces to one write-ordering rule enforced here:
+
+1. the job's input sinogram lands in the spool via
+   :func:`repro.persist.atomic_savez_checked` (atomic rename + CRC);
+2. an ``accepted`` record is appended to the journal through
+   :class:`repro.persist.RecordLog` (fsync before return);
+3. only then is the submission acknowledged to the client.
+
+Every later state transition (``done`` / ``failed`` / ``expired``)
+appends another record.  After a crash, :meth:`JobJournal.replay`
+folds the log into per-job state: jobs with an ``accepted`` record but
+no terminal record are exactly the acknowledged in-flight work the
+restarted engine must finish.  A torn final record — the residue of
+``kill -9`` mid-append — is dropped by :class:`~repro.persist.RecordLog`;
+by the write ordering above it can only ever be an *unacknowledged*
+acceptance or a terminal record whose work is safely redone.
+
+Spool layout::
+
+    <spool>/journal.log              CRC-framed record log (JSON records)
+    <spool>/jobs/<id>/input.npz      checked archive: sinogram + spec
+    <spool>/jobs/<id>/result.npz     checked archive: image + metadata
+    <spool>/jobs/<id>/checkpoint.npz solver checkpoint (opt-in jobs)
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..persist import (
+    CorruptArchiveError,
+    RecordLog,
+    atomic_savez_checked,
+    load_checked_npz,
+)
+
+__all__ = ["JobJournal", "JournalEntry", "TERMINAL_STATES"]
+
+#: States after which a job's journal history is complete.
+TERMINAL_STATES = frozenset({"done", "failed", "expired"})
+
+
+@dataclass
+class JournalEntry:
+    """Folded journal state of one job."""
+
+    job_id: str
+    spec: dict = field(default_factory=dict)
+    state: str = "accepted"
+    seq: int = 0  # acceptance order (journal position)
+    error: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+class JobJournal:
+    """Append-only journal plus per-job spool files.
+
+    Appends are serialized by an internal lock — HTTP handler threads
+    journal acceptances while the scheduler thread journals terminal
+    states, and interleaved frame writes would tear the log.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._log = RecordLog(self.root / "journal.log")
+        self._lock = threading.Lock()
+        self.records_written = 0
+
+    def close(self) -> None:
+        self._log.close()
+
+    # -- spool paths -----------------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def input_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "input.npz"
+
+    def result_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "result.npz"
+
+    def checkpoint_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "checkpoint.npz"
+
+    # -- durable payloads ------------------------------------------------
+
+    def save_input(self, job_id: str, sinogram: np.ndarray, spec: dict) -> None:
+        """Persist the job input (checked archive) before acknowledging."""
+        self.job_dir(job_id).mkdir(parents=True, exist_ok=True)
+        atomic_savez_checked(
+            self.input_path(job_id),
+            {
+                "sinogram": np.ascontiguousarray(sinogram),
+                "spec_json": np.frombuffer(
+                    json.dumps(spec, sort_keys=True).encode("utf-8"), dtype=np.uint8
+                ).copy(),
+            },
+        )
+
+    def load_input(self, job_id: str) -> tuple[np.ndarray, dict]:
+        """Load and verify a job input; raises CorruptArchiveError."""
+        payload = load_checked_npz(self.input_path(job_id))
+        spec = json.loads(bytes(payload["spec_json"]).decode("utf-8"))
+        return payload["sinogram"], spec
+
+    def save_result(self, job_id: str, image: np.ndarray, meta: dict) -> None:
+        atomic_savez_checked(
+            self.result_path(job_id),
+            {
+                "image": np.ascontiguousarray(image),
+                "meta_json": np.frombuffer(
+                    json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+                ).copy(),
+            },
+        )
+
+    def load_result(self, job_id: str) -> tuple[np.ndarray, dict]:
+        payload = load_checked_npz(self.result_path(job_id))
+        meta = json.loads(bytes(payload["meta_json"]).decode("utf-8"))
+        return payload["image"], meta
+
+    # -- records ---------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        with self._lock:
+            self._log.append(payload)
+            self.records_written += 1
+
+    def record_accepted(self, job_id: str, spec: dict, **meta) -> None:
+        self._append({"event": "accepted", "job": job_id, "spec": spec, **meta})
+
+    def record_done(self, job_id: str, **meta) -> None:
+        self._append({"event": "done", "job": job_id, **meta})
+
+    def record_failed(self, job_id: str, error: str, **meta) -> None:
+        self._append({"event": "failed", "job": job_id, "error": error, **meta})
+
+    def record_expired(self, job_id: str, **meta) -> None:
+        self._append({"event": "expired", "job": job_id, **meta})
+
+    # -- replay ----------------------------------------------------------
+
+    def replay(self) -> dict[str, JournalEntry]:
+        """Fold the journal into per-job state, in acceptance order.
+
+        Unknown events and terminal records for unknown jobs are
+        ignored (forward compatibility / truncated histories) — replay
+        never invents work, it only finishes acknowledged work.
+        """
+        entries: dict[str, JournalEntry] = {}
+        seq = 0
+        for payload in self._log.replay():
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue  # CRC-intact but alien record: skip, don't guess
+            event = record.get("event")
+            job_id = record.get("job")
+            if not job_id:
+                continue
+            if event == "accepted":
+                entries[job_id] = JournalEntry(
+                    job_id=job_id,
+                    spec=record.get("spec", {}),
+                    state="accepted",
+                    seq=seq,
+                    meta={k: v for k, v in record.items()
+                          if k not in ("event", "job", "spec")},
+                )
+                seq += 1
+            elif event in TERMINAL_STATES and job_id in entries:
+                entry = entries[job_id]
+                entry.state = event
+                entry.error = record.get("error")
+                entry.meta.update(
+                    {k: v for k, v in record.items()
+                     if k not in ("event", "job", "error")}
+                )
+        return entries
+
+    def verify_input(self, job_id: str) -> bool:
+        """Whether the job's input archive exists and passes its CRC."""
+        try:
+            self.load_input(job_id)
+            return True
+        except (CorruptArchiveError, FileNotFoundError):
+            return False

@@ -1,0 +1,262 @@
+"""Stdlib HTTP front end for :class:`~repro.service.ReconService`.
+
+A deliberately small, dependency-free surface (documented in
+``docs/service.md``)::
+
+    POST /v1/jobs             submit (JSON body, base64 sinogram) -> 202
+    GET  /v1/jobs/<id>        status JSON
+    GET  /v1/jobs/<id>/result finished image as raw .npy bytes
+    GET  /v1/stats            engine stats JSON
+    GET  /v1/healthz          liveness probe
+
+Backpressure maps to HTTP exactly: a full queue or a rate-limited
+tenant answers **429 with a Retry-After header** (never a silent
+drop), an injected chaos drop answers 503, and a draining server
+answers 503 so load balancers fail over.  ``SIGTERM`` drains: in-flight
+and queued jobs finish, then the process exits 0.  ``kill -9`` is the
+journal's job, not the server's.
+
+Handler threads only touch the engine's thread-safe admission/query
+surface; every solve stays on the engine's single scheduler thread.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..persist import CorruptArchiveError
+from .engine import (
+    DroppedSubmissionError,
+    JobFailedError,
+    JobSpec,
+    ReconService,
+    ResultNotReadyError,
+    ServiceError,
+    UnknownJobError,
+)
+
+__all__ = ["ServiceServer", "serve"]
+
+_MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+def _decode_sinogram(doc: dict) -> np.ndarray:
+    """Sinogram from a submission body: base64 float64 + shape."""
+    try:
+        raw = base64.b64decode(doc["sinogram_b64"], validate=True)
+        shape = tuple(int(v) for v in doc["shape"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"bad sinogram encoding: {exc}") from exc
+    if len(shape) != 2:
+        raise ValueError(f"sinogram must be 2-D, got shape {shape}")
+    expected = shape[0] * shape[1] * 8
+    if len(raw) != expected:
+        raise ValueError(
+            f"sinogram payload is {len(raw)} bytes, expected {expected}"
+        )
+    return np.frombuffer(raw, dtype="<f8").reshape(shape).copy()
+
+
+def encode_sinogram(sinogram: np.ndarray) -> dict:
+    """The wire form :func:`_decode_sinogram` accepts."""
+    sinogram = np.ascontiguousarray(np.asarray(sinogram, dtype="<f8"))
+    return {
+        "sinogram_b64": base64.b64encode(sinogram.tobytes()).decode("ascii"),
+        "shape": list(sinogram.shape),
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # HTTP/1.1 keep-alive: every response must carry Content-Length,
+    # which _send_json/_send_bytes guarantee.
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1"
+
+    @property
+    def engine(self) -> ReconService:
+        return self.server.engine  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # noqa: A003 — quiet by default
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(fmt, *args)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _send_json(self, code: int, doc: dict, headers: dict | None = None):
+        body = json.dumps(doc).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_bytes(self, code: int, body: bytes, content_type: str,
+                    headers: dict | None = None):
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _backpressure(self, code: int, exc: ServiceError):
+        self._send_json(
+            code,
+            {"error": str(exc), "retry_after_s": exc.retry_after},
+            headers={"Retry-After": str(max(1, int(np.ceil(exc.retry_after))))},
+        )
+
+    # -- routes ----------------------------------------------------------
+
+    def do_POST(self):  # noqa: N802 — BaseHTTPRequestHandler API
+        if self.path != "/v1/jobs":
+            self._send_json(404, {"error": f"no such route {self.path}"})
+            return
+        if self.server.draining:  # type: ignore[attr-defined]
+            self._send_json(
+                503, {"error": "server is draining"},
+                headers={"Retry-After": "5"},
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            if length <= 0 or length > _MAX_BODY_BYTES:
+                raise ValueError(f"bad Content-Length {length}")
+            doc = json.loads(self.rfile.read(length).decode("utf-8"))
+            sinogram = _decode_sinogram(doc)
+            spec = JobSpec.from_dict(doc.get("spec", {}))
+        except (ValueError, TypeError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        try:
+            ack = self.engine.submit(sinogram, spec)
+        except DroppedSubmissionError as exc:
+            self._backpressure(503, exc)
+            return
+        except ServiceError as exc:  # queue full / rate limited
+            self._backpressure(429, exc)
+            return
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self._send_json(202, ack)
+
+    def do_GET(self):  # noqa: N802
+        parts = [p for p in self.path.split("/") if p]
+        if parts == ["v1", "healthz"]:
+            self._send_json(200, {"ok": True})
+            return
+        if parts == ["v1", "stats"]:
+            self._send_json(200, self.engine.stats())
+            return
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            try:
+                self._send_json(200, self.engine.status(parts[2]))
+            except UnknownJobError:
+                self._send_json(404, {"error": f"unknown job {parts[2]}"})
+            return
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
+            job_id = parts[2]
+            try:
+                image = self.engine.result(job_id)
+            except UnknownJobError:
+                self._send_json(404, {"error": f"unknown job {job_id}"})
+                return
+            except ResultNotReadyError as exc:
+                self._send_json(
+                    409, {"error": str(exc), "state": exc.state},
+                    headers={"Retry-After": "1"},
+                )
+                return
+            except JobFailedError as exc:
+                self._send_json(
+                    410, {"error": str(exc), "state": exc.state},
+                )
+                return
+            except CorruptArchiveError as exc:
+                self._send_json(500, {"error": str(exc)})
+                return
+            buffer = io.BytesIO()
+            np.save(buffer, image)
+            self._send_bytes(
+                200, buffer.getvalue(), "application/octet-stream",
+                headers={"X-Job-Id": job_id},
+            )
+            return
+        self._send_json(404, {"error": f"no such route {self.path}"})
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one engine."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, engine: ReconService, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.engine = engine
+        self.verbose = verbose
+        self.draining = False
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def serve(
+    engine: ReconService,
+    host: str = "127.0.0.1",
+    port: int = 8780,
+    *,
+    verbose: bool = False,
+    ready_callback=None,
+    install_signal_handlers: bool = True,
+) -> int:
+    """Run the HTTP front end until SIGTERM/SIGINT; returns exit code.
+
+    ``port=0`` binds an ephemeral port; the actual port is reported via
+    ``ready_callback(server)`` (and by the CLI as a JSON line), which
+    is how subprocess tests discover where to connect.  SIGTERM drains:
+    new submissions get 503, queued and in-flight jobs finish, then
+    the loop exits cleanly.
+    """
+    engine.start(recover=True)
+    server = ServiceServer((host, port), engine, verbose=verbose)
+    exit_code = 0
+
+    def shutdown(drain: bool):
+        server.draining = True
+        engine.stop(drain=drain, timeout=None)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    if install_signal_handlers:
+        signal.signal(
+            signal.SIGTERM,
+            lambda *_: threading.Thread(
+                target=shutdown, args=(True,), daemon=True
+            ).start(),
+        )
+        signal.signal(
+            signal.SIGINT,
+            lambda *_: threading.Thread(
+                target=shutdown, args=(False,), daemon=True
+            ).start(),
+        )
+    if ready_callback is not None:
+        ready_callback(server)
+    try:
+        server.serve_forever(poll_interval=0.05)
+    finally:
+        server.server_close()
+        engine.close()
+    return exit_code

@@ -15,12 +15,14 @@ import numpy as np
 import numpy.testing as npt
 import pytest
 
+from repro import obs
 from repro.core import preprocess
 from repro.dataio import (
     ArraySource,
     ChunkSink,
     ChunkSource,
     Conveyor,
+    ConveyorProgress,
     Hdf5Source,
     MissingDependencyError,
     NpzShardSink,
@@ -34,6 +36,7 @@ from repro.dataio import (
 )
 from repro.geometry import ParallelBeamGeometry
 from repro.pipeline import reconstruct_stack
+from repro.resilience import RetryPolicy
 
 import repro.dataio.reader as reader_module
 
@@ -491,3 +494,230 @@ class TestStreamedPipeline:
         assert result.volume is None
         assert max(spans) <= 2
         assert load_volume(result.extra["output_path"]).shape == (6, 16, 16)
+
+
+class TestCompressedShards:
+    """Opt-in deflate for both shard directions (satellite of the
+    service PR): bit-exact roundtrips, stable fingerprints, and a real
+    size win on compressible data."""
+
+    @pytest.fixture(scope="class")
+    def compressible(self):
+        # Piecewise-constant slices deflate well; random noise would not.
+        base = np.arange(6 * 24 * 16, dtype=np.float64) // 512
+        return base.reshape(6, 24, 16)
+
+    def _tree_bytes(self, root):
+        return sum(p.stat().st_size for p in root.rglob("*.npz"))
+
+    def test_source_roundtrip_bit_exact(self, tmp_path, compressible, calibration):
+        darks, flats = calibration
+        root = save_stack(
+            tmp_path / "z", compressible, darks, flats,
+            shard_slices=2, compress=True,
+        )
+        with NpzShardSource(root) as src:
+            npt.assert_array_equal(src.read(0, 6), compressible)
+            npt.assert_array_equal(src.read(1, 5), compressible[1:5])
+            npt.assert_array_equal(src.darks, darks)
+            npt.assert_array_equal(src.flats, flats)
+
+    def test_compression_shrinks_shards(self, tmp_path, compressible):
+        plain = save_stack(tmp_path / "plain", compressible, shard_slices=2)
+        packed = save_stack(
+            tmp_path / "packed", compressible, shard_slices=2, compress=True
+        )
+        assert self._tree_bytes(packed) < self._tree_bytes(plain) // 2
+
+    def test_fingerprint_stable_and_layout_sensitive(self, tmp_path, compressible):
+        a = NpzShardSource(
+            save_stack(tmp_path / "a", compressible, shard_slices=2, compress=True)
+        )
+        b = NpzShardSource(
+            save_stack(tmp_path / "b", compressible, shard_slices=2, compress=True)
+        )
+        plain = NpzShardSource(
+            save_stack(tmp_path / "c", compressible, shard_slices=2)
+        )
+        # Same content, same layout, same codec: identical identity.
+        assert a.fingerprint() == b.fingerprint()
+        # Compression changes the bytes on disk, hence the identity —
+        # a resumed checkpoint must not mix codecs silently.
+        assert a.fingerprint() != plain.fingerprint()
+
+    def test_sink_roundtrip_and_shrink(self, tmp_path, compressible):
+        plain = NpzShardSink(tmp_path / "plain", 6, 16)
+        packed = NpzShardSink(tmp_path / "packed", 6, 16, compress=True)
+        volume = (np.arange(6 * 16 * 16, dtype=np.float64) // 256).reshape(6, 16, 16)
+        for sink in (plain, packed):
+            sink.write(0, 3, volume[0:3])
+            sink.write(3, 6, volume[3:6])
+        npt.assert_array_equal(load_volume(packed.finalize()), volume)
+        npt.assert_array_equal(
+            load_volume(plain.finalize()), load_volume(tmp_path / "packed")
+        )
+        assert self._tree_bytes(tmp_path / "packed") < self._tree_bytes(
+            tmp_path / "plain"
+        )
+
+    def test_make_sink_compress_mapping(self, tmp_path):
+        sink = make_sink(tmp_path / "dir", 6, 4, compress=True)
+        assert isinstance(sink, NpzShardSink) and sink.compress
+        with pytest.raises(ValueError, match="cannot be compressed"):
+            make_sink(tmp_path / "v.raw", 6, 4, compress=True)
+
+    def test_pipeline_compress_flag_bit_exact(self, tmp_path, compressible):
+        geo = ParallelBeamGeometry(24, 16)
+        op, _ = preprocess(geo)
+        sinos = np.stack([op.project_image(img[:16]) for img in
+                          np.random.default_rng(3).uniform(0, 1, (6, 16, 16))])
+        reference = reconstruct_stack(
+            sinos, geo, stages=[], iterations=4, chunk_slices=2, operator=op,
+            sink=str(tmp_path / "plain"),
+        )
+        packed = reconstruct_stack(
+            sinos, geo, stages=[], iterations=4, chunk_slices=2, operator=op,
+            sink=str(tmp_path / "packed"), compress=True,
+        )
+        npt.assert_array_equal(
+            load_volume(packed.extra["output_path"]),
+            load_volume(reference.extra["output_path"]),
+        )
+        op.close()
+
+
+class _TransientSource(ArraySource):
+    """Fails the first ``failures`` read attempts, then heals."""
+
+    def __init__(self, stack, failures, exc=OSError("transient read hiccup")):
+        super().__init__(stack)
+        self.failures = failures
+        self.exc = exc
+        self.attempts = 0
+
+    def read(self, start, stop):
+        self.attempts += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise self.exc
+        return super().read(start, stop)
+
+
+class TestReadRetry:
+    """Transient source failures heal through the shared RetryPolicy and
+    are visible as ``dataio.read_retries`` — never silent."""
+
+    RANGES = [(0, 2), (2, 4), (4, 6)]
+    FAST = RetryPolicy(max_retries=3, backoff_base=0.0)
+
+    @pytest.mark.parametrize("prefetch", [0, 2])
+    def test_transient_failures_heal(self, stack, prefetch):
+        src = _TransientSource(stack, failures=2)
+        with obs.capture() as cap:
+            with Conveyor(src, self.RANGES, prefetch=prefetch,
+                          read_retry=self.FAST) as cv:
+                seen = {(a, b): chunk for a, b, chunk in cv.chunks()}
+        for a, b in self.RANGES:
+            npt.assert_array_equal(seen[(a, b)], stack[a:b])
+        assert src.attempts == len(self.RANGES) + 2
+        counters = {c.name: c.total for c in cap.counters.values()}
+        assert counters["dataio.read_retries"] == 2
+
+    @pytest.mark.parametrize("prefetch", [0, 2])
+    def test_budget_exhausted_surfaces_original_error(self, stack, prefetch):
+        src = _TransientSource(stack, failures=99)
+        with pytest.raises(OSError, match="transient read hiccup"):
+            with Conveyor(src, self.RANGES, prefetch=prefetch,
+                          read_retry=RetryPolicy(max_retries=1,
+                                                 backoff_base=0.0)) as cv:
+                for _ in cv.chunks():
+                    pass
+
+    def test_corrupt_archive_is_transient(self, stack):
+        # A half-written shard reads as BadZipFile/ValueError — retried
+        # like any other transient error (NFS may expose mid-rename states).
+        from zipfile import BadZipFile
+
+        src = _TransientSource(stack, failures=1, exc=BadZipFile("bad magic"))
+        with Conveyor(src, self.RANGES, read_retry=self.FAST) as cv:
+            assert len(list(cv.chunks())) == 3
+
+    def test_programming_errors_not_retried(self, stack):
+        src = _TransientSource(stack, failures=5, exc=TypeError("a bug"))
+        with pytest.raises(TypeError):
+            with Conveyor(src, self.RANGES, read_retry=self.FAST) as cv:
+                list(cv.chunks())
+        assert src.attempts == 1  # no retry budget spent on bugs
+
+    def test_default_policy_attached(self, stack):
+        with Conveyor(ArraySource(stack), self.RANGES) as cv:
+            assert isinstance(cv.read_retry, RetryPolicy)
+            assert cv.read_retry.max_retries >= 1
+
+
+class _ManualClock:
+    def __init__(self, start=50.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+class TestConveyorProgress:
+    """ETA regression battery: zero-elapsed guard and resumed-run
+    clamps (a resume used to divide pre-done slices by ~0 elapsed and
+    could print a negative ETA)."""
+
+    def _progress(self, total=100, initial_done=0):
+        import io
+
+        clock = _ManualClock()
+        stream = io.StringIO()
+        progress = ConveyorProgress(
+            total, stream, initial_done=initial_done, clock=clock
+        )
+        return progress, clock, stream
+
+    def test_zero_elapsed_shows_unknown_not_inf(self):
+        progress, _clock, stream = self._progress()
+        progress.update(10, (0, 0))  # clock has not advanced at all
+        out = stream.getvalue()
+        assert "0.0 slices/s" in out
+        eta_text = out.split("eta")[1].split(")")[0]
+        assert "?" in eta_text and "inf" not in out and "-" not in eta_text
+
+    def test_steady_rate_eta(self):
+        progress, clock, stream = self._progress()
+        clock.now += 5.0
+        progress.update(20, (1, 2))
+        out = stream.getvalue()
+        assert "20/100 slices" in out
+        assert "4.0 slices/s" in out
+        assert "eta  20.0s" in out
+
+    def test_resume_excludes_pre_done_slices_from_rate(self):
+        # 90 slices were done by a previous run; this run solved 2 in 1s.
+        progress, clock, stream = self._progress(initial_done=90)
+        clock.now += 1.0
+        progress.update(92, (0, 0))
+        out = stream.getvalue()
+        assert "2.0 slices/s" in out  # NOT 92/s
+        assert "eta   4.0s" in out
+
+    def test_overshoot_never_negative(self):
+        # done > total can transiently happen when a resumed manifest
+        # overlaps a rerun range; the ETA must clamp at zero.
+        progress, clock, stream = self._progress(total=10, initial_done=4)
+        clock.now += 1.0
+        progress.update(12, (0, 0))
+        eta_text = stream.getvalue().split("eta")[1].split(")")[0]
+        assert "-" not in eta_text
+        assert "0.0s" in eta_text
+
+    def test_quiet_until_first_update(self):
+        progress, _clock, stream = self._progress()
+        progress.done()
+        assert stream.getvalue() == ""
+        progress.update(1, (0, 0))
+        progress.done()
+        assert stream.getvalue().endswith("\n")
