@@ -1,0 +1,192 @@
+"""Hierarchical two-level exchange — measured split + modeled crossover.
+
+Petascale XCT (arXiv 2009.07226, Fig. 11) replaces MemXCT's flat
+Alltoallv with a two-level exchange on multi-GPU nodes: ranks stage
+their remote payloads at a node leader over the intra-node fabric,
+leaders trade one aggregated message per node pair over the network,
+and the partial-projection compute hides the inter-node transfer.
+Two phases reproduce that story at laptop scale:
+
+* **Measured** — an executed 4-rank decomposition of scaled ADS1 runs
+  the same CG solve through a flat :class:`SimComm` and a 2x2
+  :class:`HierComm`.  The images must be bit-identical, the flat
+  logical log must be unchanged by the hierarchy, and the recorded
+  two-level split must be conservative: every byte in the aggregated
+  node-to-node exchange also appears as cross-node traffic in the flat
+  log, carried by strictly fewer network messages.
+* **Modeled** — :func:`find_hier_crossover` sweeps the alpha-beta model
+  over doubling node counts, flat vs hierarchical (with and without
+  comm/compute overlap), asserting the Fig. 11 shape: the two-level
+  exchange wins from some node count onward and stays ahead, and
+  overlap can only help it.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the executed solve and the modeled
+sweep so CI can exercise the harness quickly.
+"""
+
+import os
+
+import numpy as np
+
+from repro.dist import (
+    DistributedOperator,
+    decompose_both,
+    find_hier_crossover,
+)
+from repro.machine import get_machine
+from repro.solvers import cgls
+from repro.topology import HierComm, Topology
+from repro.utils import render_table
+
+from conftest import build_ordered
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+ITERATIONS = 4 if SMOKE else 12
+NODE_STEPS = 9 if SMOKE else 13  # 1 .. 256 / 1 .. 4096
+MACHINE = "dgx1"  # 8 ranks/node: the strongest intra/inter contrast
+
+
+def _measured_split(scaled_specs):
+    """Run one solve flat and hierarchical; return the traffic ledger."""
+    spec = scaled_specs["ADS1"]
+    matrix, tomo, sino = build_ordered(spec)
+    td, sd = decompose_both(tomo, sino, 4)
+    flat = DistributedOperator(matrix, td, sd)
+    topo = Topology.hierarchical(2, 2)
+    hier = DistributedOperator(
+        matrix, td, sd, comm=HierComm(topo), topology=topo
+    )
+    truth = np.random.default_rng(0).random(flat.num_pixels).astype(np.float32)
+    y = flat.forward(truth)
+    flat.comm.reset_log()
+    hier.comm.reset_log()
+    img_flat = cgls(flat, y, num_iterations=ITERATIONS).x
+    img_hier = cgls(hier, y, num_iterations=ITERATIONS).x
+    assert np.array_equal(img_flat, img_hier), "hierarchical path changed bits"
+
+    # The flat logical log is unchanged by the accounting layer.
+    assert np.array_equal(flat.comm.log.volume_bytes, hier.comm.log.volume_bytes)
+
+    node_of = topo.node_map()
+    volume = hier.comm.log.volume_bytes
+    counts = hier.comm.log.message_counts
+    cross_bytes = sum(
+        int(volume[p, q])
+        for p in range(4)
+        for q in range(4)
+        if p != q and node_of[p] != node_of[q]
+    )
+    cross_messages = sum(
+        int(counts[p, q])
+        for p in range(4)
+        for q in range(4)
+        if p != q and node_of[p] != node_of[q]
+    )
+    log = hier.comm.hier
+    return {
+        "flat_off_diag_bytes": int(volume.sum() - np.trace(volume)),
+        "cross_node_bytes": cross_bytes,
+        "cross_node_messages": cross_messages,
+        "intra_bytes": log.intra_bytes,
+        "intra_messages": log.intra_messages,
+        "inter_bytes": log.inter_bytes(),
+        "inter_messages": log.inter_messages,
+    }
+
+
+def _crossover_table(result, title):
+    rows = [
+        [
+            p["nodes"],
+            f"{p['flat_comm_seconds']:.4f}",
+            f"{p['hier_comm_seconds']:.4f}",
+            f"{p['flat_total_seconds']:.4f}",
+            f"{p['hier_total_seconds']:.4f}",
+            f"{p['overlap_saved_seconds']:.4f}",
+        ]
+        for p in result["points"]
+    ]
+    return render_table(
+        ["Nodes", "C flat (s)", "C hier (s)", "Total flat (s)",
+         "Total hier (s)", "Overlap saved (s)"],
+        rows,
+        title=title,
+    )
+
+
+def test_hier_comm_crossover(report, scaled_specs, benchmark):
+    split = _measured_split(scaled_specs)
+
+    # Conservation: the aggregated inter-node exchange carries at most
+    # what the flat log shows crossing node boundaries, in strictly
+    # fewer network messages; the staging hops are new intra traffic.
+    assert 0 < split["inter_bytes"] <= split["cross_node_bytes"]
+    assert 0 < split["inter_messages"] < split["cross_node_messages"]
+    assert split["intra_bytes"] > 0 and split["intra_messages"] > 0
+
+    machine = get_machine(MACHINE)
+    node_counts = [2**k for k in range(NODE_STEPS)]
+    m, n = 1501, 2048  # RDS1 full size; the model is closed-form
+    overlapped = find_hier_crossover(m, n, machine, node_counts=node_counts)
+    sequential = find_hier_crossover(
+        m, n, machine, node_counts=node_counts, overlap=False
+    )
+
+    measured_rows = [
+        ["flat off-diagonal", f"{split['flat_off_diag_bytes']:,}"],
+        ["  of which cross-node", f"{split['cross_node_bytes']:,}"],
+        ["hier intra (staging + same-node)", f"{split['intra_bytes']:,}"],
+        ["hier inter (node pairs)", f"{split['inter_bytes']:,}"],
+        [
+            "network messages, flat -> hier",
+            f"{split['cross_node_messages']:,} -> {split['inter_messages']:,}",
+        ],
+    ]
+    sections = [
+        render_table(
+            ["traffic class", "bytes"],
+            measured_rows,
+            title="measured 4-rank / 2x2-node split (scaled ADS1, bit-exact)",
+        ),
+        _crossover_table(
+            overlapped,
+            f"modeled RDS1 on {machine.name} "
+            f"({overlapped['ranks_per_node']} ranks/node, with overlap)",
+        ),
+        _crossover_table(
+            sequential,
+            f"modeled RDS1 on {machine.name} (without overlap)",
+        ),
+        f"crossover: hierarchical wins from "
+        f"{overlapped['crossover_nodes']} nodes with overlap, "
+        f"{sequential['crossover_nodes']} without",
+    ]
+    report(
+        "hier_comm_crossover",
+        "\n\n".join(sections),
+        extra={"split": split,
+               "crossover_overlap": overlapped["crossover_nodes"],
+               "crossover_sequential": sequential["crossover_nodes"]},
+    )
+
+    # Fig. 11 shape: the two-level exchange wins from some node count
+    # onward and stays ahead through the largest sampled count.
+    assert overlapped["crossover_nodes"] is not None
+    assert overlapped["crossover_nodes"] > 1
+    last = overlapped["points"][-1]
+    assert last["hier_total_seconds"] < last["flat_total_seconds"]
+    assert last["hier_comm_seconds"] < last["flat_comm_seconds"]
+
+    # Overlap can only help the hierarchical path: pointwise no slower,
+    # and the crossover arrives no later than the sequential one.
+    for with_ov, without in zip(overlapped["points"], sequential["points"]):
+        assert with_ov["hier_total_seconds"] <= without["hier_total_seconds"]
+        assert with_ov["overlap_saved_seconds"] >= 0.0
+    if sequential["crossover_nodes"] is not None:
+        assert overlapped["crossover_nodes"] <= sequential["crossover_nodes"]
+    assert any(p["overlap_saved_seconds"] > 0 for p in overlapped["points"])
+
+    benchmark(
+        find_hier_crossover, m, n, machine, node_counts=[node_counts[-1]]
+    )

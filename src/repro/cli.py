@@ -165,6 +165,7 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         operator=operator,
         num_ranks=args.ranks,
+        topology=args.topology,
         faults=args.faults,
         checkpoint=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
@@ -191,6 +192,15 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
 
 def _print_resilience_summary(result) -> None:
     """Report what the resilience layer injected, healed, and saved."""
+    hier = result.extra.get("hier_comm")
+    if hier:
+        print(
+            f"topology {result.extra['topology']}: "
+            f"{format_bytes(hier['intra_bytes'])} intra-node "
+            f"({hier['intra_messages']} msgs), "
+            f"{format_bytes(hier['inter_bytes'])} inter-node "
+            f"({hier['inter_messages']} aggregated msgs)"
+        )
     stats = result.extra.get("fault_stats")
     if stats:
         print(
@@ -411,27 +421,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_scale(args: argparse.Namespace) -> int:
-    from .dist import strong_scaling_series, weak_scaling_series
+    from .dist import find_hier_crossover, strong_scaling_series, weak_scaling_series
     from .machine import get_machine
 
     machine = get_machine(args.machine)
     spec = get_dataset(args.dataset)
+    if args.crossover:
+        result = find_hier_crossover(
+            spec.num_projections, spec.num_channels, machine,
+            node_counts=[args.nodes_start * (2**k) for k in range(args.steps)],
+            overlap=args.overlap,
+        )
+        rows = [
+            [
+                p["nodes"],
+                round(p["flat_comm_seconds"], 4),
+                round(p["hier_comm_seconds"], 4),
+                round(p["flat_total_seconds"], 4),
+                round(p["hier_total_seconds"], 4),
+                round(p["overlap_saved_seconds"], 4),
+            ]
+            for p in result["points"]
+        ]
+        overlap_note = "with" if args.overlap else "without"
+        print(render_table(
+            ["Nodes", "C flat (s)", "C hier (s)", "Total flat (s)",
+             "Total hier (s)", "Overlap saved (s)"],
+            rows,
+            title=f"flat vs hierarchical on {machine.name} "
+                  f"({result['ranks_per_node']} ranks/node, {overlap_note} overlap)",
+        ))
+        crossover = result["crossover_nodes"]
+        if crossover is None:
+            print("no crossover in this sweep: flat stays competitive")
+        else:
+            print(f"hierarchical wins from {crossover} nodes onward")
+        return 0
+    model_kwargs = {}
+    if args.hierarchical:
+        model_kwargs = {"hierarchical": True, "overlap": args.overlap}
     if args.mode == "strong":
         nodes = [args.nodes_start * (2**k) for k in range(args.steps)]
         points = strong_scaling_series(
-            spec.num_projections, spec.num_channels, machine, nodes
+            spec.num_projections, spec.num_channels, machine, nodes, **model_kwargs
         )
     else:
         points = weak_scaling_series(
             spec.num_projections, spec.num_channels, machine, args.steps,
-            nodes_start=args.nodes_start,
+            nodes_start=args.nodes_start, **model_kwargs,
         )
     rows = [p.row() for p in points]
+    exchange = "hierarchical" if args.hierarchical else "flat"
     print(render_table(
         ["Nodes", "Sinogram", "Total (s)", "A_p (s)", "C (s)", "R (s)"],
         rows,
         title=f"{args.mode} scaling of {args.dataset} on {machine.name} "
-              "(30 CG iterations, modeled)",
+              f"({exchange} exchange, 30 CG iterations, modeled)",
     ))
     return 0
 
@@ -625,6 +670,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=args.cache,
         kernel=args.kernel,
         faults=faults,
+        result_ttl_s=args.result_ttl,
+        spool_cap_bytes=args.spool_cap,
     )
     engine = ReconService(config)
 
@@ -790,6 +837,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated MPI ranks (>1 uses the distributed operator)",
     )
     p.add_argument(
+        "--topology", metavar="SPEC", default=None,
+        help="rank-to-node placement for --ranks > 1: 'nodes:N,ranks:M' "
+             "runs the hierarchical two-level exchange (bit-exact with "
+             "flat), 'flat' forces the flat path; default honours "
+             "REPRO_TOPOLOGY",
+    )
+    p.add_argument(
         "--faults", metavar="SPEC",
         help="fault-injection spec for the simulated communicator, e.g. "
         "'drop=0.05,corrupt=0.02,crash=1@3,seed=42' (needs --ranks >= 2); "
@@ -897,8 +951,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--output", "-o", default="volume.npz",
-        help="volume destination: .npz accumulates in memory; a directory "
-        "or .raw path streams slabs to disk chunk-by-chunk (make-demo: "
+        help="volume destination: .npz accumulates in memory; a directory, "
+        ".raw, or .tif path streams slabs to disk chunk-by-chunk "
+        "(.tif needs the optional tifffile dependency; make-demo: "
         "where the raw stack is written)",
     )
 
@@ -918,6 +973,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", default="strong", choices=("strong", "weak"))
     p.add_argument("--nodes-start", type=int, default=32)
     p.add_argument("--steps", type=int, default=6)
+    p.add_argument(
+        "--hierarchical", action="store_true",
+        help="model the two-level intra/inter-node exchange instead of flat",
+    )
+    p.add_argument(
+        "--overlap", action="store_true",
+        help="hide the inter-node exchange behind A_p compute "
+             "(with --hierarchical or --crossover)",
+    )
+    p.add_argument(
+        "--crossover", action="store_true",
+        help="sweep flat vs hierarchical and report the crossover node count",
+    )
 
     p = sub.add_parser(
         "cache",
@@ -980,6 +1048,12 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("csr", "buffered", "ell"),
                    help="SpMV kernel for service operators (ell amortizes "
                    "best across coalesced multi-RHS batches)")
+    p.add_argument("--result-ttl", type=float, default=None, metavar="SECONDS",
+                   help="evict a finished job's spool payload this long after "
+                   "it turns terminal; result then answers HTTP 410")
+    p.add_argument("--spool-cap", type=int, default=None, metavar="BYTES",
+                   help="cap on spool bytes held by finished jobs "
+                   "(oldest results evicted first)")
     p.add_argument("--faults", metavar="SPEC",
                    help="inject seeded service faults, e.g. "
                    "'drop=0.1,crash=0.2,seed=7' (or REPRO_SERVICE_FAULTS)")

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..dist import DistributedOperator, SimComm, decompose_both
+from ..topology import HierComm, Topology, parse_topology
 from ..geometry import ParallelBeamGeometry
 from ..resilience import CheckpointManager, FaultConfig, FaultInjector, HealthMonitor
 from ..solvers import SolveResult, cgls, icd, sgd, sirt
@@ -108,6 +109,23 @@ def _resolve_faults(faults, num_ranks: int) -> FaultInjector | None:
     return injector
 
 
+def _resolve_topology(topology, num_ranks: int) -> Topology:
+    """Normalize the ``topology`` argument (spec string, Topology, or
+    None = ambient ``REPRO_TOPOLOGY``)."""
+    if topology is None:
+        return Topology.ambient(num_ranks)
+    if isinstance(topology, Topology):
+        if topology.num_ranks != num_ranks:
+            raise ValueError(
+                f"topology spans {topology.num_ranks} ranks, "
+                f"reconstruction uses {num_ranks}"
+            )
+        return topology
+    if isinstance(topology, str):
+        return parse_topology(topology, num_ranks)
+    raise TypeError(f"cannot interpret topology spec {topology!r}")
+
+
 def _resolve_resilience_kwargs(
     solver: str, checkpoint, checkpoint_every: int, resume, health
 ) -> dict:
@@ -138,6 +156,7 @@ def reconstruct(
     ordering: str = "pseudo-hilbert",
     config: OperatorConfig | None = None,
     num_ranks: int = 1,
+    topology=None,
     operator: MemXCTOperator | None = None,
     preprocess_report: PreprocessReport | None = None,
     faults=None,
@@ -170,6 +189,14 @@ def reconstruct(
     num_ranks:
         Simulated MPI ranks; > 1 reconstructs through the distributed
         ``A = R C A_p`` operator (numerically identical by design).
+    topology:
+        Rank-to-node placement for ``num_ranks > 1``: a spec string
+        like ``"nodes:2,ranks:2"`` (or ``"flat"``), or a ready
+        :class:`~repro.topology.Topology`.  A non-flat topology runs
+        the exchange through the hierarchical
+        :class:`~repro.topology.HierComm` — bit-exact with the flat
+        path; the two-level traffic split lands in ``result.extra``.
+        Defaults to the ambient ``REPRO_TOPOLOGY`` (flat when unset).
     operator, preprocess_report:
         Pass a previously preprocessed operator to skip preprocessing —
         the paper's many-slice amortization (Table 5).
@@ -280,8 +307,20 @@ def reconstruct(
         tomo_dec, sino_dec = decompose_both(
             operator.tomo_ordering, operator.sino_ordering, num_ranks
         )
-        comm = SimComm(num_ranks, fault_injector=injector) if injector else None
-        solve_op = DistributedOperator(operator.matrix, tomo_dec, sino_dec, comm=comm)
+        topo = _resolve_topology(topology, num_ranks)
+        if injector is not None:
+            comm = (
+                SimComm(num_ranks, fault_injector=injector)
+                if topo.is_flat
+                else HierComm(topo, fault_injector=injector)
+            )
+            solve_op = DistributedOperator(
+                operator.matrix, tomo_dec, sino_dec, comm=comm
+            )
+        else:
+            solve_op = DistributedOperator(
+                operator.matrix, tomo_dec, sino_dec, topology=topo
+            )
 
     t0 = time.perf_counter()
     solve = _run_solver(
@@ -292,6 +331,17 @@ def reconstruct(
     extra: dict = {}
     if injector is not None:
         extra["fault_stats"] = injector.stats.as_dict()
+    if isinstance(solve_op, DistributedOperator):
+        extra["topology"] = solve_op.topology.describe()
+        hier = solve_op.hier_log()
+        if hier is not None:
+            extra["hier_comm"] = {
+                "num_nodes": hier.num_nodes,
+                "intra_bytes": hier.intra_bytes,
+                "intra_messages": hier.intra_messages,
+                "inter_bytes": hier.inter_bytes(),
+                "inter_messages": hier.inter_messages,
+            }
     if isinstance(solve_op, DistributedOperator) and solve_op.degradations:
         extra["degradations"] = list(solve_op.degradations)
         extra["surviving_ranks"] = solve_op.num_ranks

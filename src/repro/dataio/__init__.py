@@ -8,8 +8,9 @@ in-memory array":
   an ``.npz``-shard directory, or an HDF5/tomobank file (``h5py``
   optional), so stack depth is bounded by disk, not RAM.
 * **Sinks** (:mod:`repro.dataio.writer`) — :class:`ChunkSink` streams
-  reconstructed slabs out as atomic npz shards or one flat ``.raw``
-  file, finalized crash-safely through :mod:`repro.persist` semantics.
+  reconstructed slabs out as atomic npz shards, one flat ``.raw``
+  file, or a multi-page ``.tif`` volume (``tifffile`` optional),
+  finalized crash-safely through :mod:`repro.persist` semantics.
 * **Conveyor** (:mod:`repro.dataio.conveyor`) — a prefetching reader
   thread and a write-behind thread on bounded queues, hiding both disk
   ends under the solve; ``prefetch=0`` is the synchronous reference.
@@ -35,6 +36,7 @@ from .writer import (
     ChunkSink,
     NpzShardSink,
     RawVolumeSink,
+    TiffStackSink,
     VolumeSink,
     load_volume,
     make_sink,
@@ -55,6 +57,7 @@ __all__ = [
     "VolumeSink",
     "NpzShardSink",
     "RawVolumeSink",
+    "TiffStackSink",
     "make_sink",
     "load_volume",
     "SLAB_PATTERN",

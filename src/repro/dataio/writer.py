@@ -15,10 +15,15 @@ sit in memory.  Two on-disk formats plus the in-memory fallback:
   single ``<name>.partial`` file, finalized by fsync + rename to the
   final name plus a JSON sidecar with shape/dtype.  Supports
   out-of-order and resumed writes.
+* :class:`TiffStackSink` — same crash-safe staged-write discipline,
+  finalized into a multi-page ``.tif`` volume (needs the optional
+  ``tifffile`` dependency; constructing one without it raises the
+  same clear :class:`~repro.dataio.reader.MissingDependencyError`
+  the HDF5 source uses, at construction, not mid-run).
 
 :func:`make_sink` maps a destination path to a sink; :func:`load_volume`
-reads any finalized output (npz / shard dir / raw) back into an array
-for verification.
+reads any finalized output (npz / shard dir / raw / tiff) back into an
+array for verification.
 """
 
 from __future__ import annotations
@@ -31,16 +36,33 @@ from pathlib import Path
 import numpy as np
 
 from ..persist import atomic_savez
+from .reader import MissingDependencyError
+
+try:  # pragma: no cover - exercised via the monkeypatched tests
+    import tifffile  # type: ignore
+except ImportError:  # pragma: no cover
+    tifffile = None
 
 __all__ = [
     "ChunkSink",
     "VolumeSink",
     "NpzShardSink",
     "RawVolumeSink",
+    "TiffStackSink",
     "make_sink",
     "load_volume",
     "SLAB_PATTERN",
 ]
+
+
+def _require_tifffile():
+    if tifffile is None:
+        raise MissingDependencyError(
+            "writing/reading .tif volumes requires the optional 'tifffile' "
+            "dependency (pip install tifffile); use a .raw file or a "
+            "shard directory instead"
+        )
+    return tifffile
 
 #: Output shard naming scheme: ``slab-<start>-<stop>.npz`` (slice range).
 SLAB_PATTERN = re.compile(r"^slab-(\d+)-(\d+)\.npz$")
@@ -213,19 +235,63 @@ class RawVolumeSink(ChunkSink):
             self._fh = None
 
 
+class TiffStackSink(RawVolumeSink):
+    """Stage slabs in a flat ``.partial`` file; finalize as multi-page TIFF.
+
+    The staged file has :class:`RawVolumeSink` semantics (offset
+    writes, resume-friendly, fsync before publication), so chunk
+    writes stay O(slab) regardless of TIFF page structure;
+    ``finalize`` reads the completed volume back once, writes the TIFF
+    next to the destination, and atomically renames it into place.
+    The ``.partial`` stage is only removed after the rename, so a
+    crash inside ``finalize`` still resumes cleanly.
+    """
+
+    def __init__(self, path, num_slices: int, n: int, *, resume: bool = True,
+                 compress: bool = False):
+        _require_tifffile()
+        super().__init__(path, num_slices, n, resume=resume)
+        self.compress = bool(compress)
+
+    def finalize(self) -> Path:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._fh = None
+        volume = np.fromfile(self._partial, dtype=np.float64).reshape(
+            (self.num_slices, self.n, self.n)
+        )
+        tmp = self.path.with_name(f"{self.path.name}.tmp-{os.getpid()}")
+        tifffile.imwrite(
+            tmp,
+            volume,
+            photometric="minisblack",
+            compression="zlib" if self.compress else None,
+            bigtiff=volume.nbytes > 2**31,
+        )
+        tmp.replace(self.path)
+        self._partial.unlink(missing_ok=True)
+        return self.path
+
+
 def make_sink(destination, num_slices: int, n: int, *, resume: bool = True,
               compress: bool = False) -> ChunkSink:
     """Map an output destination to a sink.
 
-    ``.raw`` → :class:`RawVolumeSink`; anything without an ``.npz``
-    suffix → :class:`NpzShardSink` directory.  (``.npz`` outputs stay
-    on the in-memory path — one archive cannot be written
+    ``.raw`` → :class:`RawVolumeSink`; ``.tif``/``.tiff`` →
+    :class:`TiffStackSink` (optional ``tifffile``); anything without
+    an ``.npz`` suffix → :class:`NpzShardSink` directory.  (``.npz``
+    outputs stay on the in-memory path — one archive cannot be written
     incrementally — so callers handle them with ``sink=None``.)
-    ``compress=True`` writes deflated shard archives — a trade of
-    write CPU for disk/network bytes that only the shard format can
-    make, so asking for it on a ``.raw`` destination raises.
+    ``compress=True`` writes deflated shard archives (or a
+    zlib-compressed TIFF) — a trade of write CPU for disk/network
+    bytes the flat ``.raw`` format cannot make, so asking for it on a
+    ``.raw`` destination raises.
     """
     destination = Path(destination)
+    if destination.suffix in (".tif", ".tiff"):
+        return TiffStackSink(destination, num_slices, n, resume=resume,
+                             compress=compress)
     if destination.suffix == ".raw":
         if compress:
             raise ValueError(
@@ -247,8 +313,8 @@ def load_volume(source) -> np.ndarray:
     """Read any finalized volume output back into a float64 array.
 
     Accepts the ``.npz`` the CLI writes on the in-memory path, a
-    finalized shard directory, or a finalized ``.raw`` file with its
-    JSON sidecar.
+    finalized shard directory, a finalized ``.raw`` file with its JSON
+    sidecar, or a multi-page ``.tif`` volume (optional ``tifffile``).
     """
     path = Path(source)
     if path.is_dir():
@@ -274,4 +340,9 @@ def load_volume(source) -> np.ndarray:
         meta = json.loads(sidecar.read_text())
         volume = np.fromfile(path, dtype=np.float64)
         return volume.reshape(tuple(meta["shape"]))
+    if path.suffix in (".tif", ".tiff"):
+        volume = np.asarray(_require_tifffile().imread(path), dtype=np.float64)
+        if volume.ndim == 2:  # a single-slice volume folds to one page
+            volume = volume[np.newaxis]
+        return volume
     raise ValueError(f"cannot infer a volume format from {path}")

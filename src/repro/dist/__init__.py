@@ -6,7 +6,9 @@ from .comm_model import (
     allreduce_time,
     alltoallv_time,
     alltoallv_time_from_log,
+    hier_alltoallv_time,
     memxct_comm_elements,
+    overlapped_exchange_time,
     trace_comm_elements,
 )
 from .duplicated import DuplicatedOperator
@@ -15,6 +17,7 @@ from .partitioned import DistributedOperator, RankData
 from .preprocess import distributed_preprocess
 from .scaling import (
     ScalingPoint,
+    find_hier_crossover,
     model_preprocessing_time,
     model_solution_time,
     strong_scaling_series,
@@ -26,8 +29,11 @@ __all__ = [
     "allreduce_time",
     "alltoallv_time",
     "alltoallv_time_from_log",
+    "hier_alltoallv_time",
+    "overlapped_exchange_time",
     "memxct_comm_elements",
     "trace_comm_elements",
+    "find_hier_crossover",
     "Decomposition",
     "DuplicatedOperator",
     "decompose_both",

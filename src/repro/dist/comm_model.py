@@ -11,6 +11,20 @@ The compute-centric alternative pays ``O(N^2 log P)`` for the
 This module turns logged or predicted traffic into seconds via the
 standard alpha-beta model, and provides the closed-form complexity
 curves for both approaches (Table 1 / Fig. 11 guide lines).
+
+Hierarchical extension (Petascale XCT, arXiv 2009.07226): with a
+two-level :class:`~repro.topology.Topology`, the exchange splits into
+rank<->leader staging over the intra-node fabric
+(``MachineSpec.intra_latency_s`` / ``intra_bw``) and one aggregated
+leader-to-leader message per node pair over the network
+(``net_latency_s`` / ``net_bw``) — :func:`hier_alltoallv_time` costs
+exactly the traffic split :class:`~repro.topology.HierComm` records.
+:func:`overlapped_exchange_time` models the comm/compute overlap where
+partial-projection compute hides inter-node exchange time.
+
+Units: all latencies in seconds, bandwidths in bytes/second, payloads
+in bytes (element counts are converted at 4 bytes — float32 wire
+format) — so every function returns seconds.
 """
 
 from __future__ import annotations
@@ -18,15 +32,27 @@ from __future__ import annotations
 import numpy as np
 
 from ..machine.specs import MachineSpec
+from ..topology import Topology
 from .simmpi import CommLog
 
 __all__ = [
     "alltoallv_time",
     "alltoallv_time_from_log",
     "allreduce_time",
+    "hier_alltoallv_time",
+    "overlapped_exchange_time",
     "memxct_comm_elements",
     "trace_comm_elements",
 ]
+
+
+def _check_volume(volume_bytes: np.ndarray) -> np.ndarray:
+    volume = np.asarray(volume_bytes, dtype=np.float64)
+    if volume.ndim != 2 or volume.shape[0] != volume.shape[1]:
+        raise ValueError(f"volume matrix must be square, got {volume.shape}")
+    if volume.size and volume.min() < 0:
+        raise ValueError("volume matrix entries must be non-negative bytes")
+    return volume
 
 
 def alltoallv_time(
@@ -34,16 +60,18 @@ def alltoallv_time(
     machine: MachineSpec,
     include_device_transfer: bool = True,
 ) -> float:
-    """Seconds for one sparse ``Alltoallv`` given a pairwise byte matrix.
+    """Seconds for one flat sparse ``Alltoallv`` given a pairwise byte matrix.
 
-    Per rank: ``alpha * partners + max(sent, received) / beta``; the
-    collective finishes when the slowest rank does.  GPU machines also
-    pay host-device staging of the payload over the PCIe/NVLink link
-    (the paper includes host-device time in its ``C`` kernel numbers).
+    ``volume_bytes[p, q]`` is the payload (bytes) rank ``p`` sends to
+    rank ``q``; the diagonal (self-sends) is ignored.  Per rank:
+    ``alpha * partners + max(sent, received) / beta`` with ``alpha =
+    net_latency_s`` (seconds per message startup) and ``beta = net_bw``
+    (bytes/second); the collective finishes when the slowest rank does.
+    GPU machines also pay host-device staging of the payload over the
+    PCIe/NVLink link (the paper includes host-device time in its ``C``
+    kernel numbers).  Entries must be non-negative; returns seconds.
     """
-    volume = np.asarray(volume_bytes, dtype=np.float64)
-    if volume.ndim != 2 or volume.shape[0] != volume.shape[1]:
-        raise ValueError(f"volume matrix must be square, got {volume.shape}")
+    volume = _check_volume(volume_bytes)
     remote = volume.copy()
     np.fill_diagonal(remote, 0.0)
     sent = remote.sum(axis=1)
@@ -64,10 +92,17 @@ def allreduce_time(num_elements: int, num_ranks: int, machine: MachineSpec) -> f
     """Seconds for an ``Allreduce`` of ``num_elements`` float32 values.
 
     Recursive-doubling model: ``log2(P)`` rounds, each moving the full
-    payload — the ``O(N^2 log P)`` cost of the compute-centric
-    approach's duplicated-domain reduction (paper Table 1).
+    ``4 * num_elements``-byte payload over the ``net_latency_s`` /
+    ``net_bw`` network link — the ``O(N^2 log P)`` cost of the
+    compute-centric approach's duplicated-domain reduction (paper
+    Table 1).  ``num_elements`` must be non-negative and ``num_ranks``
+    at least 1 (a single rank reduces locally for free).
     """
-    if num_ranks <= 1:
+    if num_ranks < 1:
+        raise ValueError(f"num_ranks must be at least 1, got {num_ranks}")
+    if num_elements < 0:
+        raise ValueError(f"num_elements must be non-negative, got {num_elements}")
+    if num_ranks == 1:
         return 0.0
     rounds = int(np.ceil(np.log2(num_ranks)))
     payload = 4.0 * num_elements
@@ -75,6 +110,90 @@ def allreduce_time(num_elements: int, num_ranks: int, machine: MachineSpec) -> f
     if machine.device.kind == "gpu":
         per_round += 2.0 * payload / machine.device.link_bw
     return rounds * per_round
+
+
+def hier_alltoallv_time(
+    volume_bytes: np.ndarray,
+    topology: Topology,
+    machine: MachineSpec,
+    include_device_transfer: bool = True,
+) -> float:
+    """Seconds for the two-level exchange of a pairwise byte matrix.
+
+    Costs the hierarchical message pattern of
+    :class:`~repro.topology.HierComm` under the α–β model with
+    separate link classes: same-node messages and rank<->leader
+    staging hops use the intra-node fabric (``intra_latency_s`` /
+    ``intra_bw``); the aggregated leader-to-leader exchange uses the
+    network (``net_latency_s`` / ``net_bw``).  The three stages are
+    sequential (stage-up, inter exchange, stage-down), each finishing
+    when its slowest participant does.  Returns seconds.
+    """
+    volume = _check_volume(volume_bytes)
+    if volume.shape[0] != topology.num_ranks:
+        raise ValueError(
+            f"volume matrix is {volume.shape[0]}x{volume.shape[0]}, "
+            f"topology spans {topology.num_ranks} ranks"
+        )
+    node_of = np.asarray(topology.node_map())
+    num_nodes = topology.num_nodes
+    remote = volume.copy()
+    np.fill_diagonal(remote, 0.0)
+    same_node = node_of[:, None] == node_of[None, :]
+    intra_pair = np.where(same_node, remote, 0.0)
+    cross = np.where(same_node, 0.0, remote)
+    # Aggregated node-to-node volumes.
+    inter = np.zeros((num_nodes, num_nodes), dtype=np.float64)
+    np.add.at(inter, (node_of[:, None], node_of[None, :]), cross)
+    leaders = np.asarray([topology.leader(g) for g in range(num_nodes)])
+    is_leader = np.zeros(topology.num_ranks, dtype=bool)
+    is_leader[leaders] = True
+
+    alpha_i, beta_i = machine.intra_latency_s, machine.intra_bw
+    # Stage-up: same-node pairwise traffic plus each non-leader rank's
+    # combined remote payload moving to its leader.
+    up_bytes = intra_pair.sum(axis=1) + np.where(is_leader, 0.0, cross.sum(axis=1))
+    up_msgs = (intra_pair > 0).sum(axis=1) + (
+        (~is_leader) & (cross.sum(axis=1) > 0)
+    ).astype(np.int64)
+    stage_up = alpha_i * up_msgs + up_bytes / beta_i
+    # Stage-down: the mirror fan-out on the receive side.
+    down_bytes = np.where(is_leader, 0.0, cross.sum(axis=0))
+    down_msgs = ((~is_leader) & (cross.sum(axis=0) > 0)).astype(np.int64)
+    stage_down = alpha_i * down_msgs + down_bytes / beta_i
+    # Inter-node: one aggregated message per interacting node pair.
+    node_partners = ((inter + inter.T) > 0).sum(axis=1)
+    node_sent = inter.sum(axis=1)
+    node_recv = inter.sum(axis=0)
+    inter_time = machine.net_latency_s * node_partners + np.maximum(
+        node_sent, node_recv
+    ) / machine.net_bw
+    total = (
+        (float(stage_up.max()) if stage_up.size else 0.0)
+        + (float(inter_time.max()) if inter_time.size else 0.0)
+        + (float(stage_down.max()) if stage_down.size else 0.0)
+    )
+    if include_device_transfer and machine.device.kind == "gpu":
+        total += float((node_sent + node_recv).max()) / machine.device.link_bw if num_nodes else 0.0
+    return total
+
+
+def overlapped_exchange_time(
+    intra_seconds: float, inter_seconds: float, compute_seconds: float
+) -> float:
+    """Exchange wall time when compute hides the inter-node transfer.
+
+    Petascale XCT overlaps the partial-projection compute (``A_p``)
+    with the inter-node exchange: only the part of the network time
+    that outlasts the compute is exposed.  The intra-node staging is
+    serialized with the compute (it produces/consumes the buffers the
+    kernels touch), so the exchange contributes ``intra + max(0, inter
+    - compute)`` seconds of wall time.  All inputs in seconds,
+    non-negative.
+    """
+    if intra_seconds < 0 or inter_seconds < 0 or compute_seconds < 0:
+        raise ValueError("times must be non-negative seconds")
+    return intra_seconds + max(0.0, inter_seconds - compute_seconds)
 
 
 def memxct_comm_elements(

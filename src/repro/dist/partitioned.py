@@ -21,11 +21,17 @@ bit-wise reproducible re-partitionings of the serial SpMV (verified in
 tests for arbitrary rank counts).
 
 Graceful degradation: when the (fault-injected) communicator reports a
-rank crash, the serial-facade passes rebuild the both-domain
-decomposition over the surviving rank count — the dead rank's tomogram
-columns and sinogram rows are redistributed, a fresh communicator is
-attached (same fault injector, same RNG stream), and the pass is
-re-executed.  The solve continues; only the partitioning changed.
+rank crash, the serial-facade passes redistribute the dead rank's
+tomogram columns and sinogram rows to the survivors, attach a fresh
+communicator (same fault injector, same RNG stream), and re-execute
+the pass.  On a flat topology the both-domain decomposition is rebuilt
+globally over the surviving rank count; on a hierarchical topology
+(``topology=`` / ambient ``REPRO_TOPOLOGY``) each crashed rank's curve
+ranges are absorbed by the nearest surviving rank **of its own node
+group first** — redistribution stays on the intra-node fabric and the
+shrunken topology keeps node locality — falling back to the nearest
+global neighbour only when a whole node died.  The solve continues;
+only the partitioning changed.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ import numpy as np
 from ..obs import FAULT_RECOVERIES, add_count, span
 from ..resilience.faults import RankCrashError
 from ..sparse import CSRMatrix, scan_transpose
+from ..topology import HierComm, HierLog, Topology
 from .decomposition import Decomposition, decompose_both
 from .simmpi import CommLog, SimComm
 
@@ -88,6 +95,7 @@ class DistributedOperator:
         sino_dec: Decomposition,
         comm: SimComm | None = None,
         rank_data: list[RankData] | None = None,
+        topology: Topology | None = None,
     ):
         if tomo_dec.num_ranks != sino_dec.num_ranks:
             raise ValueError("tomogram and sinogram decompositions must agree on ranks")
@@ -102,7 +110,25 @@ class DistributedOperator:
         self.tomo_dec = tomo_dec
         self.sino_dec = sino_dec
         self.num_ranks = tomo_dec.num_ranks
-        self.comm = comm if comm is not None else SimComm(self.num_ranks)
+        if topology is not None and topology.num_ranks != self.num_ranks:
+            raise ValueError(
+                f"topology spans {topology.num_ranks} ranks, "
+                f"decompositions have {self.num_ranks}"
+            )
+        if comm is not None:
+            self.comm = comm
+            # An explicit communicator wins: a HierComm carries its own
+            # topology, anything else runs flat.
+            self.topology = getattr(comm, "topology", None) or Topology.flat(comm.size)
+        else:
+            self.topology = (
+                topology if topology is not None else Topology.ambient(self.num_ranks)
+            )
+            self.comm = (
+                SimComm(self.num_ranks)
+                if self.topology.is_flat
+                else HierComm(self.topology)
+            )
         self.retired_logs: list[CommLog] = []
         self.degradations: list[dict] = []
         self._recv_local_ids: list[list[np.ndarray]] = []
@@ -221,12 +247,18 @@ class DistributedOperator:
     def degrade(self, dead_ranks) -> None:
         """Redistribute crashed ranks' subdomains to the survivors.
 
-        Rebuilds the both-domain decomposition over ``num_ranks -
-        len(dead_ranks)`` ranks (survivors renumber), re-partitions
-        ``A_p``/``A_p^T`` and the exchange segments, and attaches a
-        fresh communicator that inherits the fault injector so the
-        chaos schedule keeps running.  Requires the global matrix —
-        per-rank-only operators cannot re-shard the lost columns.
+        On a flat topology the both-domain decomposition is rebuilt
+        globally over ``num_ranks - len(dead_ranks)`` ranks (survivors
+        renumber).  On a hierarchical topology each dead rank's curve
+        ranges are absorbed by the nearest surviving rank of its own
+        node group — keeping the redistribution on the intra-node
+        fabric — with the nearest global neighbour as fallback when an
+        entire node died; the shrunken :class:`Topology` preserves the
+        survivors' node placement.  Either way ``A_p``/``A_p^T`` and
+        the exchange segments are re-partitioned and a fresh
+        communicator inherits the fault injector so the chaos schedule
+        keeps running.  Requires the global matrix — per-rank-only
+        operators cannot re-shard the lost columns.
         """
         dead = sorted(set(int(r) for r in dead_ranks))
         survivors = self.num_ranks - len(dead)
@@ -243,18 +275,49 @@ class DistributedOperator:
                 injector.consume_crashes()
                 injector.record_recovery(len(dead))
             self.retired_logs.append(self.comm.log)
-            self.degradations.append(
-                {"dead": dead, "from_ranks": self.num_ranks, "to_ranks": survivors}
-            )
-            self.tomo_dec, self.sino_dec = decompose_both(
-                self.tomo_dec.ordering, self.sino_dec.ordering, survivors
-            )
+            record = {
+                "dead": dead,
+                "from_ranks": self.num_ranks,
+                "to_ranks": survivors,
+                "topology": self.topology.describe(),
+            }
+            if self.topology.is_flat:
+                self.tomo_dec, self.sino_dec = decompose_both(
+                    self.tomo_dec.ordering, self.sino_dec.ordering, survivors
+                )
+                self.topology = Topology.flat(survivors)
+                self.comm = SimComm(survivors, fault_injector=injector)
+            else:
+                absorbed_by = self._absorption_targets(dead)
+                record["absorbed_by"] = absorbed_by
+                self.tomo_dec = _absorb_ranges(self.tomo_dec, absorbed_by)
+                self.sino_dec = _absorb_ranges(self.sino_dec, absorbed_by)
+                self.topology = self.topology.without_ranks(set(dead))
+                self.comm = HierComm(self.topology, fault_injector=injector)
+            self.degradations.append(record)
             self.num_ranks = survivors
-            self.comm = SimComm(survivors, fault_injector=injector)
             self.ranks = []
             self._build()
             self._build_recv_ids()
         add_count(FAULT_RECOVERIES, len(dead))
+
+    def _absorption_targets(self, dead: list[int]) -> dict[int, int]:
+        """Surviving rank that inherits each dead rank's curve ranges.
+
+        Prefers the nearest survivor inside the dead rank's node group
+        (ties go left); node groups are contiguous rank runs, so the
+        same-node nearest never skips a survivor and the absorbed
+        ranges always merge into tile-aligned bounds.  When a whole
+        node died, falls back to the globally nearest survivor.
+        """
+        dead_set = set(dead)
+        alive = [r for r in range(self.num_ranks) if r not in dead_set]
+        targets: dict[int, int] = {}
+        for d in dead:
+            group = self.topology.group(self.topology.node_of(d))
+            candidates = [r for r in group if r not in dead_set] or alive
+            targets[d] = min(candidates, key=lambda r: (abs(r - d), r))
+        return targets
 
     def _absorbing_crashes(self, apply_pass):
         """Run a serial-facade pass, degrading past any rank crashes."""
@@ -328,3 +391,31 @@ class DistributedOperator:
     def last_comm_log(self) -> CommLog:
         """Traffic log of the underlying communicator."""
         return self.comm.log
+
+    def hier_log(self) -> HierLog | None:
+        """Two-level traffic split (None on a flat communicator)."""
+        return getattr(self.comm, "hier", None)
+
+
+def _absorb_ranges(dec: Decomposition, absorbed_by: dict[int, int]) -> Decomposition:
+    """Merge dead ranks' curve ranges into their absorbing survivors.
+
+    Every dead rank maps to a survivor on the same side of any other
+    survivor (nearest-neighbour assignment over contiguous groups), so
+    each survivor inherits a contiguous run of ranks and the new
+    bounds are a subset of the old tile-aligned cuts.
+    """
+    sizes = np.diff(dec.bounds)
+    merged = sizes.astype(np.int64).copy()
+    for d, t in absorbed_by.items():
+        merged[t] += merged[d]
+        merged[d] = 0
+    survivor_sizes = np.asarray(
+        [merged[r] for r in range(dec.num_ranks) if r not in absorbed_by],
+        dtype=np.int64,
+    )
+    bounds = np.zeros(survivor_sizes.shape[0] + 1, dtype=np.int64)
+    np.cumsum(survivor_sizes, out=bounds[1:])
+    return Decomposition(
+        ordering=dec.ordering, num_ranks=survivor_sizes.shape[0], bounds=bounds
+    )

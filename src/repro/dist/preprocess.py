@@ -28,6 +28,7 @@ import numpy as np
 from ..geometry import ParallelBeamGeometry
 from ..ordering import make_ordering
 from ..sparse import CSRMatrix, scan_transpose
+from ..topology import HierComm, Topology
 from ..trace import trace_angle
 from .decomposition import decompose_both
 from .partitioned import DistributedOperator, RankData
@@ -103,17 +104,26 @@ def distributed_preprocess(
     ordering: str = "pseudo-hilbert",
     min_tiles: int = 16,
     comm: SimComm | None = None,
+    topology: Topology | None = None,
 ) -> DistributedOperator:
     """Preprocess in parallel across simulated ranks.
 
     Returns a ready :class:`DistributedOperator` whose per-rank data
     was built without ever holding the full matrix: rank ``r`` traces
     angles ``[r*M/P, (r+1)*M/P)`` and ships each nonzero to its
-    tomogram-column owner.
+    tomogram-column owner.  With a non-flat ``topology`` (explicit or
+    ambient ``REPRO_TOPOLOGY``), the triplet exchange and the returned
+    operator run over a hierarchical :class:`HierComm`.
     """
     if num_ranks <= 0:
         raise ValueError(f"rank count must be positive, got {num_ranks}")
-    comm = comm if comm is not None else SimComm(num_ranks)
+    if comm is None:
+        topology = topology if topology is not None else Topology.ambient(num_ranks)
+        if topology.num_ranks != num_ranks:
+            raise ValueError(
+                f"topology spans {topology.num_ranks} ranks, expected {num_ranks}"
+            )
+        comm = SimComm(num_ranks) if topology.is_flat else HierComm(topology)
     if comm.size != num_ranks:
         raise ValueError(f"communicator has {comm.size} ranks, expected {num_ranks}")
 

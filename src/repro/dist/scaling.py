@@ -36,6 +36,7 @@ __all__ = [
     "weak_scaling_series",
     "strong_scaling_series",
     "model_preprocessing_time",
+    "find_hier_crossover",
 ]
 
 #: Default Siddon chord constant: nnz ~= chord * M * N^2 (measured
@@ -55,7 +56,14 @@ DEFAULT_HANDSHAKE_CONSTANT = 4.0
 
 @dataclass(frozen=True)
 class ScalingPoint:
-    """One point of a scaling curve: per-solution kernel times (s)."""
+    """One point of a scaling curve: per-solution kernel times (s).
+
+    ``comm_seconds`` is the exchange *wall* time; on a hierarchical
+    point it splits into ``intra_seconds`` (staging over the intra-node
+    fabric) plus the exposed part of ``inter_seconds`` (the inter-node
+    network time, of which ``overlap_saved_seconds`` was hidden behind
+    the ``A_p`` compute when overlap modelling is on).
+    """
 
     num_nodes: int
     num_projections: int
@@ -64,6 +72,10 @@ class ScalingPoint:
     comm_seconds: float
     reduction_seconds: float
     iterations: int
+    intra_seconds: float = 0.0
+    inter_seconds: float = 0.0
+    overlap_saved_seconds: float = 0.0
+    topology: str = "flat"
 
     @property
     def total_seconds(self) -> float:
@@ -91,6 +103,8 @@ def model_solution_time(
     handshake_constant: float = DEFAULT_HANDSHAKE_CONSTANT,
     optimization: str = "buffered",
     miss_rate: float = 0.05,
+    hierarchical: bool = False,
+    overlap: bool = False,
 ) -> ScalingPoint:
     """Model a full iterative solution (paper's 30-CG-iteration runs).
 
@@ -106,6 +120,18 @@ def model_solution_time(
         baseline) — selects regular bytes/FMA and latency exposure.
     miss_rate:
         Cache-simulated L2 miss rate of the irregular stream.
+    hierarchical:
+        Model the two-level exchange of Petascale XCT: the node's
+        ``devices_per_node`` ranks stage over the intra-node fabric
+        (``intra_latency_s`` / ``intra_bw``), then one leader per node
+        runs the Alltoallv over ``num_nodes`` participants — the
+        handshake and posting terms shrink from rank count to node
+        count at the price of two intra-node payload hops and an
+        ``devices_per_node``-times larger aggregate through each NIC.
+    overlap:
+        With ``hierarchical``, hide the inter-node exchange behind the
+        ``A_p`` compute: only ``max(0, inter - ap)`` is exposed
+        (``overlap_saved_seconds`` records the hidden part).
     """
     ranks = num_nodes * machine.devices_per_node
     nnz_total = chord_constant * num_projections * num_channels * num_channels
@@ -140,13 +166,51 @@ def model_solution_time(
         overlap_constant * num_projections * num_channels * np.sqrt(ranks)
     )
     payload_per_rank = 4.0 * comm_elements_total / ranks
-    partners = min(handshake_constant * np.sqrt(ranks), max(ranks - 1, 0))
-    posting = 0.2 * machine.net_latency_s * ranks
-    comm = machine.net_latency_s * partners + posting + payload_per_rank / machine.net_bw
-    if machine.device.kind == "gpu":
-        comm += 2.0 * payload_per_rank / machine.device.link_bw
-    if ranks == 1:
-        comm = 0.0
+    intra = inter = saved = 0.0
+    topology_label = "flat"
+    if not hierarchical:
+        partners = min(handshake_constant * np.sqrt(ranks), max(ranks - 1, 0))
+        posting = 0.2 * machine.net_latency_s * ranks
+        comm = machine.net_latency_s * partners + posting + payload_per_rank / machine.net_bw
+        if machine.device.kind == "gpu":
+            comm += 2.0 * payload_per_rank / machine.device.link_bw
+        if ranks == 1:
+            comm = 0.0
+    else:
+        # Two-level exchange: ranks stage their remote payload to the
+        # node leader over the intra fabric (up + down hops), leaders
+        # run the Alltoallv over num_nodes participants with the
+        # devices_per_node-times aggregated payload.
+        ranks_per_node = machine.devices_per_node
+        topology_label = f"nodes:{num_nodes},ranks:{ranks_per_node}"
+        if ranks_per_node > 1:
+            intra = 2.0 * (
+                machine.intra_latency_s + payload_per_rank / machine.intra_bw
+            )
+        if num_nodes > 1:
+            node_partners = min(
+                handshake_constant * np.sqrt(num_nodes), max(num_nodes - 1, 0)
+            )
+            posting = 0.2 * machine.net_latency_s * num_nodes
+            node_payload = payload_per_rank * ranks_per_node
+            inter = (
+                machine.net_latency_s * node_partners
+                + posting
+                + node_payload / machine.net_bw
+            )
+            if machine.device.kind == "gpu":
+                # The leader stages the node aggregate through its own
+                # host-device link.
+                inter += 2.0 * node_payload / machine.device.link_bw
+        if overlap:
+            exposed = max(0.0, inter - ap)
+            saved = inter - exposed
+            inter_wall = exposed
+        else:
+            inter_wall = inter
+        comm = intra + inter_wall
+        if ranks == 1:
+            comm = intra = inter = saved = 0.0
 
     # R: the owner streams the received partials through memory once.
     reduction_bytes = 2.0 * payload_per_rank  # read partial + update owner copy
@@ -162,6 +226,10 @@ def model_solution_time(
         comm_seconds=comm * scale,
         reduction_seconds=red * scale,
         iterations=iterations,
+        intra_seconds=intra * scale,
+        inter_seconds=inter * scale,
+        overlap_saved_seconds=saved * scale,
+        topology=topology_label,
     )
 
 
@@ -204,6 +272,72 @@ def strong_scaling_series(
         model_solution_time(num_projections, num_channels, machine, nodes, **model_kwargs)
         for nodes in node_counts
     ]
+
+
+def find_hier_crossover(
+    num_projections: int,
+    num_channels: int,
+    machine: MachineSpec,
+    node_counts: list[int] | None = None,
+    overlap: bool = True,
+    **model_kwargs,
+) -> dict:
+    """Locate where the hierarchical exchange overtakes the flat one.
+
+    Models the same strong-scaling sweep twice — flat and hierarchical
+    (with comm/compute overlap by default) — and reports the smallest
+    node count from which the hierarchical total solution time wins *and
+    stays ahead* for every larger sampled count.  Mid-sweep, while the
+    payload is bandwidth-dominated, flat is cheaper (no staging hops,
+    no M-times aggregate through one NIC); as the posting/handshake
+    latency terms grow with rank count, the two-level exchange's
+    per-*node* costs take over — the crossover of Petascale XCT
+    Fig. 11.  (A single node has no inter-node network at all, so a
+    trivial win there does not count as the crossover.)
+
+    Returns a dict with the per-node-count pairs (``points``: node
+    count, flat/hier comm and total seconds) and ``crossover_nodes``
+    (None when the sweep never settles in hierarchical's favour).
+    """
+    if node_counts is None:
+        node_counts = [2**k for k in range(13)]  # 1 .. 4096
+    points = []
+    for nodes in node_counts:
+        flat = model_solution_time(
+            num_projections, num_channels, machine, nodes, **model_kwargs
+        )
+        hier = model_solution_time(
+            num_projections,
+            num_channels,
+            machine,
+            nodes,
+            hierarchical=True,
+            overlap=overlap,
+            **model_kwargs,
+        )
+        points.append(
+            {
+                "nodes": nodes,
+                "flat_comm_seconds": flat.comm_seconds,
+                "hier_comm_seconds": hier.comm_seconds,
+                "flat_total_seconds": flat.total_seconds,
+                "hier_total_seconds": hier.total_seconds,
+                "overlap_saved_seconds": hier.overlap_saved_seconds,
+            }
+        )
+    crossover = None
+    for point in reversed(points):
+        if point["nodes"] > 1 and point["hier_total_seconds"] < point["flat_total_seconds"]:
+            crossover = point["nodes"]
+        else:
+            break
+    return {
+        "machine": machine.name,
+        "ranks_per_node": machine.devices_per_node,
+        "overlap": overlap,
+        "points": points,
+        "crossover_nodes": crossover,
+    }
 
 
 def model_preprocessing_time(

@@ -182,8 +182,13 @@ class MachineSpec:
     """A cluster: nodes of devices plus an interconnect (paper Table 2).
 
     ``net_latency_s`` / ``net_bw`` parameterize the alpha-beta model of
-    :mod:`repro.dist.comm_model`; ``devices_per_node`` counts devices a
-    rank set maps onto (Cooley nodes carry two K80 boards = 4 GK210).
+    :mod:`repro.dist.comm_model` for the **inter-node** network;
+    ``intra_latency_s`` / ``intra_bw`` describe the intra-node fabric
+    (NVLink, PCIe, or shared memory) that the hierarchical two-level
+    exchange stages over before leaders hit the network.
+    ``devices_per_node`` counts devices a rank set maps onto (Cooley
+    nodes carry two K80 boards = 4 GK210) — it doubles as the default
+    ranks-per-node of a hierarchical topology on that machine.
     """
 
     name: str
@@ -192,6 +197,8 @@ class MachineSpec:
     devices_per_node: int
     net_latency_s: float
     net_bw: float
+    intra_latency_s: float = 1e-6
+    intra_bw: float = 10 * GB
 
 
 MACHINES: dict[str, MachineSpec] = {
@@ -202,6 +209,8 @@ MACHINES: dict[str, MachineSpec] = {
         devices_per_node=1,
         net_latency_s=3e-6,  # Aries dragonfly
         net_bw=8 * GB,
+        intra_latency_s=0.5e-6,  # on-node shared memory (single KNL rank)
+        intra_bw=50 * GB,
     ),
     "bluewaters": MachineSpec(
         name="NCSA Blue Waters (XK7)",
@@ -210,6 +219,8 @@ MACHINES: dict[str, MachineSpec] = {
         devices_per_node=1,
         net_latency_s=2.5e-6,  # Gemini 3D torus
         net_bw=5 * GB,
+        intra_latency_s=1.3e-6,  # PCIe gen2 host link
+        intra_bw=8 * GB,
     ),
     "cooley": MachineSpec(
         name="ALCF Cooley",
@@ -218,6 +229,8 @@ MACHINES: dict[str, MachineSpec] = {
         devices_per_node=2,
         net_latency_s=2e-6,  # FDR InfiniBand
         net_bw=6 * GB,
+        intra_latency_s=1e-6,  # PCIe gen3 between the two K80 boards
+        intra_bw=12 * GB,
     ),
     "minsky": MachineSpec(
         name="IBM Minsky",
@@ -226,6 +239,8 @@ MACHINES: dict[str, MachineSpec] = {
         devices_per_node=4,
         net_latency_s=1e-6,
         net_bw=40 * GB,
+        intra_latency_s=0.5e-6,  # NVLink 1
+        intra_bw=40 * GB,
     ),
     "dgx1": MachineSpec(
         name="Nvidia DGX-1",
@@ -234,6 +249,8 @@ MACHINES: dict[str, MachineSpec] = {
         devices_per_node=8,
         net_latency_s=1e-6,
         net_bw=80 * GB,
+        intra_latency_s=0.5e-6,  # NVLink 2
+        intra_bw=80 * GB,
     ),
 }
 

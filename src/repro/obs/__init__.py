@@ -45,6 +45,10 @@ from .counters import (
     CHECKPOINT_RESTORES,
     CHECKPOINT_SAVES,
     COMM_BYTES,
+    COMM_INTER_BYTES,
+    COMM_INTER_MESSAGES,
+    COMM_INTRA_BYTES,
+    COMM_INTRA_MESSAGES,
     COMM_MESSAGES,
     DATAIO_BYTES_READ,
     DATAIO_BYTES_WRITTEN,
@@ -69,6 +73,7 @@ from .counters import (
     SERVICE_BATCHES,
     SERVICE_COALESCED_JOBS,
     SERVICE_COMPLETED,
+    SERVICE_EVICTIONS,
     SERVICE_EXPIRED,
     SERVICE_FAILED,
     SERVICE_JOURNAL_RECORDS,
@@ -105,6 +110,10 @@ __all__ = [
     "CHECKPOINT_RESTORES",
     "CHECKPOINT_SAVES",
     "COMM_BYTES",
+    "COMM_INTER_BYTES",
+    "COMM_INTER_MESSAGES",
+    "COMM_INTRA_BYTES",
+    "COMM_INTRA_MESSAGES",
     "COMM_MESSAGES",
     "DATAIO_BYTES_READ",
     "DATAIO_BYTES_WRITTEN",
@@ -131,6 +140,7 @@ __all__ = [
     "SERVICE_BATCHES",
     "SERVICE_COALESCED_JOBS",
     "SERVICE_COMPLETED",
+    "SERVICE_EVICTIONS",
     "SERVICE_EXPIRED",
     "SERVICE_FAILED",
     "SERVICE_JOURNAL_RECORDS",

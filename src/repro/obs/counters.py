@@ -25,6 +25,10 @@ __all__ = [
     "BUFFER_STAGES",
     "COMM_BYTES",
     "COMM_MESSAGES",
+    "COMM_INTRA_BYTES",
+    "COMM_INTRA_MESSAGES",
+    "COMM_INTER_BYTES",
+    "COMM_INTER_MESSAGES",
     "SOLVER_ITERATIONS",
     "CACHE_HITS",
     "CACHE_MISSES",
@@ -67,6 +71,7 @@ __all__ = [
     "SERVICE_COALESCED_JOBS",
     "SERVICE_RECOVERED",
     "SERVICE_JOURNAL_RECORDS",
+    "SERVICE_EVICTIONS",
     "PARALLEL_TASKS",
     "PARALLEL_DISPATCHES",
     "PARALLEL_SHM_BYTES",
@@ -86,6 +91,15 @@ BUFFER_STAGES = "buffer.stages"
 COMM_BYTES = "comm.bytes"
 #: Remote point-to-point messages inside simulated collectives.
 COMM_MESSAGES = "comm.messages"
+#: Bytes moved over the intra-node fabric by hierarchical collectives
+#: (same-node messages plus rank<->leader staging hops).
+COMM_INTRA_BYTES = "comm.intra_bytes"
+#: Intra-node messages inside hierarchical collectives.
+COMM_INTRA_MESSAGES = "comm.intra_messages"
+#: Aggregated leader-to-leader bytes crossing the inter-node network.
+COMM_INTER_BYTES = "comm.inter_bytes"
+#: Aggregated node-pair messages crossing the inter-node network.
+COMM_INTER_MESSAGES = "comm.inter_messages"
 #: Iterations completed across all solvers.
 SOLVER_ITERATIONS = "solver.iterations"
 #: Operator plans served from the on-disk plan cache.
@@ -159,6 +173,8 @@ SERVICE_COALESCED_JOBS = "service.coalesced_jobs"
 SERVICE_RECOVERED = "service.recovered"
 #: Records appended to the job journal.
 SERVICE_JOURNAL_RECORDS = "service.journal_records"
+#: Terminal-job result payloads evicted from the spool (TTL / size cap).
+SERVICE_EVICTIONS = "service.evictions"
 #: Worker tasks executed by the shared-memory parallel backend.
 PARALLEL_TASKS = "parallel.tasks"
 #: Parallel fan-outs dispatched (one per backend.map / engine apply).
@@ -187,6 +203,10 @@ CANONICAL_UNITS = {
     BUFFER_STAGES: "stage",
     COMM_BYTES: "byte",
     COMM_MESSAGES: "message",
+    COMM_INTRA_BYTES: "byte",
+    COMM_INTRA_MESSAGES: "message",
+    COMM_INTER_BYTES: "byte",
+    COMM_INTER_MESSAGES: "message",
     SOLVER_ITERATIONS: "iteration",
     CACHE_HITS: "hit",
     CACHE_MISSES: "miss",
@@ -223,6 +243,7 @@ CANONICAL_UNITS = {
     SERVICE_COALESCED_JOBS: "job",
     SERVICE_RECOVERED: "job",
     SERVICE_JOURNAL_RECORDS: "record",
+    SERVICE_EVICTIONS: "job",
     PARALLEL_TASKS: "task",
     PARALLEL_DISPATCHES: "dispatch",
     PARALLEL_SHM_BYTES: "byte",

@@ -61,6 +61,7 @@ from ..obs import (
     SERVICE_BATCHES,
     SERVICE_COALESCED_JOBS,
     SERVICE_COMPLETED,
+    SERVICE_EVICTIONS,
     SERVICE_EXPIRED,
     SERVICE_FAILED,
     SERVICE_JOURNAL_RECORDS,
@@ -134,7 +135,12 @@ class ResultNotReadyError(RuntimeError):
 
 
 class JobFailedError(RuntimeError):
-    """The job reached a terminal state without a result (HTTP 410)."""
+    """The job reached a terminal state without a result (HTTP 410).
+
+    Also raised for *evicted* jobs — finished work whose spool payload
+    was reclaimed by the result TTL or the spool size cap; the journal
+    still answers ``status`` for them, but the bytes are gone.
+    """
 
     def __init__(self, job_id: str, state: str, error: str | None):
         super().__init__(f"job {job_id} {state}: {error or 'no result'}")
@@ -246,11 +252,15 @@ class Job:
     batch_size: int = 0
     iterations_run: int = 0
     solve_seconds: float = 0.0
+    terminal_wall: float = 0.0  # wall time the job turned terminal
+    payload_bytes: int = 0  # on-disk spool footprint once terminal
+    evicted: bool = False
 
     def status(self) -> dict:
         return {
             "job_id": self.job_id,
             "state": self.state,
+            "evicted": self.evicted,
             "tenant": self.spec.tenant,
             "solver": self.spec.solver,
             "iterations": self.spec.iterations,
@@ -308,6 +318,13 @@ class ServiceConfig:
     ordering: str = "pseudo-hilbert"
     kernel: str = "buffered"
     faults: ServiceFaultConfig | None = None
+    #: Evict a terminal job's spool payload this many seconds after it
+    #: turns terminal (None = keep forever).  ``result`` then answers
+    #: HTTP 410 instead of re-serving the bytes.
+    result_ttl_s: float | None = None
+    #: Cap on total spool bytes held by terminal jobs; oldest-first
+    #: eviction brings the spool back under it (None = unbounded).
+    spool_cap_bytes: int | None = None
 
     def __post_init__(self) -> None:
         # Fail a bad kernel name at config time, not at first dispatch.
@@ -322,6 +339,14 @@ class ServiceConfig:
             raise ValueError(f"rate_limit must be > 0, got {self.rate_limit}")
         if self.rate_burst < 1:
             raise ValueError(f"rate_burst must be >= 1, got {self.rate_burst}")
+        if self.result_ttl_s is not None and self.result_ttl_s <= 0:
+            raise ValueError(
+                f"result_ttl_s must be > 0, got {self.result_ttl_s}"
+            )
+        if self.spool_cap_bytes is not None and self.spool_cap_bytes < 0:
+            raise ValueError(
+                f"spool_cap_bytes must be >= 0, got {self.spool_cap_bytes}"
+            )
 
 
 # -- the engine ----------------------------------------------------------
@@ -440,13 +465,25 @@ class ReconService:
             if entry.terminal:
                 job.state = entry.state
                 job.error = entry.error
+                job.evicted = bool(entry.meta.get("evicted"))
+                job.terminal_wall = float(
+                    entry.meta.get("terminal_wall", job.accepted_wall)
+                )
+                if not job.evicted:
+                    job.payload_bytes = self.journal.payload_bytes(
+                        entry.job_id
+                    )
                 with self._lock:
                     self._jobs[entry.job_id] = job
                 continue
             if not self.journal.verify_input(entry.job_id):
                 job.state = "failed"
                 job.error = "input archive missing or corrupt after restart"
-                self.journal.record_failed(entry.job_id, job.error)
+                job.terminal_wall = self.clock()
+                job.payload_bytes = self.journal.payload_bytes(entry.job_id)
+                self.journal.record_failed(
+                    entry.job_id, job.error, terminal_wall=job.terminal_wall
+                )
                 with self._lock:
                     self._jobs[entry.job_id] = job
                     self._bump(SERVICE_FAILED)
@@ -480,6 +517,7 @@ class ReconService:
             )
         if not np.all(np.isfinite(sinogram)):
             raise ValueError("sinogram contains non-finite values")
+        self._sweep_evictions()  # new work displaces the oldest results
         with self._lock:
             self._bump(SERVICE_SUBMITTED)
             tenant_stats = self._tenants.setdefault(
@@ -566,10 +604,20 @@ class ReconService:
             return self._get(job_id).status()
 
     def result(self, job_id: str):
-        """The finished image; loads (and CRC-verifies) from the spool."""
+        """The finished image; loads (and CRC-verifies) from the spool.
+
+        An evicted job answers :class:`JobFailedError` (HTTP 410): the
+        result existed, was durably served for its TTL / within the
+        spool cap, and is now gone — an explicit answer, not a 404.
+        """
         with self._lock:
             job = self._get(job_id)
-            state, error = job.state, job.error
+            state, error, evicted = job.state, job.error, job.evicted
+        if evicted:
+            raise JobFailedError(
+                job_id, "evicted",
+                "result evicted from spool (ttl or capacity)",
+            )
         if state == "done":
             image, _meta = self.journal.load_result(job_id)
             return image
@@ -601,6 +649,12 @@ class ReconService:
                 "admitted": self._admitted,
                 "queue_limit": self.config.queue_limit,
                 "states": states,
+                "evicted_jobs": sum(
+                    1 for job in self._jobs.values() if job.evicted
+                ),
+                "spool_payload_bytes": sum(
+                    job.payload_bytes for job in self._jobs.values()
+                ),
                 "tenants": {t: dict(v) for t, v in self._tenants.items()},
                 "recovered_jobs": self.recovered_jobs,
                 "journal_records": self.journal.records_written,
@@ -632,6 +686,58 @@ class ReconService:
         for name, value in pending.items():
             add_count(name, value)
 
+    # -- spool eviction --------------------------------------------------
+
+    def _sweep_evictions(self) -> None:
+        """Reclaim terminal-job payloads past TTL or over the size cap.
+
+        Runs from the scheduler loop (each dispatch and each idle
+        wake-up) and on every submission, so both policies hold without
+        a dedicated janitor thread.  Oldest-terminal-first, matching
+        the intuition that the longest-served result is the first to
+        go.  Two-phase: victims are *marked* evicted under the lock
+        (so concurrent sweepers never double-count), then the file
+        deletes and journal appends happen outside it.
+        """
+        cfg = self.config
+        if cfg.result_ttl_s is None and cfg.spool_cap_bytes is None:
+            return
+        now = self.clock()
+        victims: list[Job] = []
+        with self._lock:
+            terminal = sorted(
+                (
+                    job for job in self._jobs.values()
+                    if job.state in TERMINAL and not job.evicted
+                ),
+                key=lambda job: (job.terminal_wall, job.accepted_wall),
+            )
+            if cfg.result_ttl_s is not None:
+                victims.extend(
+                    job for job in terminal
+                    if now - job.terminal_wall > cfg.result_ttl_s
+                )
+            if cfg.spool_cap_bytes is not None:
+                chosen = {job.job_id for job in victims}
+                survivors = [
+                    job for job in terminal if job.job_id not in chosen
+                ]
+                total = sum(job.payload_bytes for job in survivors)
+                for job in survivors:
+                    if total <= cfg.spool_cap_bytes:
+                        break
+                    victims.append(job)
+                    total -= job.payload_bytes
+            for job in victims:
+                job.evicted = True
+                job.payload_bytes = 0
+                self._bump(SERVICE_EVICTIONS)
+        for job in victims:
+            self.journal.evict_payloads(job.job_id)
+            self.journal.record_evicted(job.job_id, evicted_wall=now)
+            with self._lock:
+                self._bump(SERVICE_JOURNAL_RECORDS)
+
     # -- scheduling ------------------------------------------------------
 
     def _run(self) -> None:
@@ -641,6 +747,7 @@ class ReconService:
                 return
             if batch:
                 self._dispatch(batch)
+            self._sweep_evictions()
 
     def _eligible_index(self) -> int | None:
         """Index of the first runnable queued job (FIFO, backoff-aware)."""
@@ -670,6 +777,9 @@ class ReconService:
                     self._cond.wait(timeout=max(0.0, wake - now) or 0.01)
                 else:
                     self._cond.wait(timeout=0.25)
+                    # Idle wake-ups double as TTL sweeps (the RLock
+                    # makes the re-entry from under the condition safe).
+                    self._sweep_evictions()
         # A short accrual window lets near-simultaneous submissions
         # coalesce even when the scheduler is idle when they arrive.
         if self.config.coalesce_window_s > 0:
@@ -714,10 +824,14 @@ class ReconService:
         return batch
 
     def _finalize_expired(self, job: Job) -> None:
-        self.journal.record_expired(job.job_id)
+        terminal_wall = self.clock()
+        self.journal.record_expired(job.job_id, terminal_wall=terminal_wall)
+        payload = self.journal.payload_bytes(job.job_id)
         with self._cond:
             job.state = "expired"
             job.error = "deadline exceeded"
+            job.terminal_wall = terminal_wall
+            job.payload_bytes = payload
             self._admitted -= 1
             self._bump(SERVICE_EXPIRED)
             self._bump(SERVICE_JOURNAL_RECORDS)
@@ -790,6 +904,8 @@ class ReconService:
             self._handle_failure(batch, exc)
             return
         elapsed = self.monotonic() - started
+        terminal_wall = self.clock()
+        payload_sizes = []
         for j, job in enumerate(batch):
             self.journal.save_result(
                 job.job_id,
@@ -802,8 +918,10 @@ class ReconService:
                 },
             )
             self.journal.record_done(
-                job.job_id, iterations=int(iterations[j]), batch_size=len(batch)
+                job.job_id, iterations=int(iterations[j]),
+                batch_size=len(batch), terminal_wall=terminal_wall,
             )
+            payload_sizes.append(self.journal.payload_bytes(job.job_id))
         with self._cond:
             self._recent_solve_s.append(elapsed)
             del self._recent_solve_s[:-8]
@@ -812,6 +930,8 @@ class ReconService:
                 job.attempts += 1
                 job.iterations_run = int(iterations[j])
                 job.solve_seconds = elapsed
+                job.terminal_wall = terminal_wall
+                job.payload_bytes = payload_sizes[j]
                 if resumed:
                     job.resumed_iteration = resumed
                 self._admitted -= 1
@@ -849,10 +969,16 @@ class ReconService:
         # Journal the terminal record BEFORE the state flip that releases
         # wait(): a caller who observes `failed` must find it on disk.
         for job in exhausted:
-            self.journal.record_failed(job.job_id, error)
+            terminal_wall = self.clock()
+            self.journal.record_failed(
+                job.job_id, error, terminal_wall=terminal_wall
+            )
+            payload = self.journal.payload_bytes(job.job_id)
             with self._cond:
                 job.state = "failed"
                 job.error = error
+                job.terminal_wall = terminal_wall
+                job.payload_bytes = payload
                 self._admitted -= 1
                 self._bump(SERVICE_FAILED)
                 self._bump(SERVICE_JOURNAL_RECORDS)

@@ -24,6 +24,13 @@ Spool layout::
     <spool>/jobs/<id>/input.npz      checked archive: sinogram + spec
     <spool>/jobs/<id>/result.npz     checked archive: image + metadata
     <spool>/jobs/<id>/checkpoint.npz solver checkpoint (opt-in jobs)
+
+Payloads of *terminal* jobs may later be **evicted** (result TTL or
+spool size cap, see :class:`repro.service.ServiceConfig`): the job's
+spool directory is removed and an ``evicted`` record is journaled, so
+replay knows the result is durably gone rather than lost.  Eviction
+never touches the journal history itself — ``status`` keeps answering
+for evicted jobs; only ``result`` turns into an explicit HTTP 410.
 """
 
 from __future__ import annotations
@@ -134,6 +141,44 @@ class JobJournal:
         meta = json.loads(bytes(payload["meta_json"]).decode("utf-8"))
         return payload["image"], meta
 
+    def payload_bytes(self, job_id: str) -> int:
+        """Total on-disk bytes of the job's spool files (0 if evicted)."""
+        total = 0
+        try:
+            for path in self.job_dir(job_id).iterdir():
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+        except OSError:
+            return 0
+        return total
+
+    def evict_payloads(self, job_id: str) -> int:
+        """Delete the job's spool directory; returns bytes freed.
+
+        Idempotent: a job evicted twice (or never spooled) frees 0.
+        The journal history is untouched — callers append an
+        ``evicted`` record so replay learns the payload is gone.
+        """
+        job_dir = self.job_dir(job_id)
+        freed = 0
+        try:
+            entries = list(job_dir.iterdir())
+        except OSError:
+            return 0
+        for path in entries:
+            try:
+                freed += path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+        try:
+            job_dir.rmdir()
+        except OSError:
+            pass
+        return freed
+
     # -- records ---------------------------------------------------------
 
     def _append(self, record: dict) -> None:
@@ -153,6 +198,9 @@ class JobJournal:
 
     def record_expired(self, job_id: str, **meta) -> None:
         self._append({"event": "expired", "job": job_id, **meta})
+
+    def record_evicted(self, job_id: str, **meta) -> None:
+        self._append({"event": "evicted", "job": job_id, **meta})
 
     # -- replay ----------------------------------------------------------
 
@@ -192,6 +240,8 @@ class JobJournal:
                     {k: v for k, v in record.items()
                      if k not in ("event", "job", "error")}
                 )
+            elif event == "evicted" and job_id in entries:
+                entries[job_id].meta["evicted"] = True
         return entries
 
     def verify_input(self, job_id: str) -> bool:

@@ -1,0 +1,20 @@
+"""Two-level rank topology and hierarchical communication substrate.
+
+See :mod:`repro.topology.topology` for the :class:`Topology`
+abstraction (node groups of ranks, ambient ``REPRO_TOPOLOGY``
+configuration) and :mod:`repro.topology.hiercomm` for
+:class:`HierComm`, the hierarchical intra-node-stage /
+inter-node-exchange communicator that is bit-exact with the flat
+:class:`~repro.dist.SimComm`.
+"""
+
+from .hiercomm import HierComm, HierLog
+from .topology import TOPOLOGY_ENV, Topology, parse_topology
+
+__all__ = [
+    "HierComm",
+    "HierLog",
+    "Topology",
+    "parse_topology",
+    "TOPOLOGY_ENV",
+]

@@ -1,0 +1,237 @@
+"""Hierarchical two-level communicator over :class:`SimComm`.
+
+Petascale XCT (arXiv 2009.07226, Fig. 9) replaces MemXCT's flat
+Alltoallv with a two-level exchange on multi-GPU nodes: each node's M
+ranks first combine their outbound remote payloads over the intra-node
+fabric at a designated *leader*, the leaders exchange one aggregated
+message per node pair over the inter-node network, and received
+payloads fan back out to their destination ranks intra-node.  The
+arithmetic is unchanged — the same partial values reach the same
+owners — but the message structure is radically different: O(G²)
+inter-node messages instead of O(P²), with the latency-bound startup
+cost paid per *node* rather than per *rank*.
+
+:class:`HierComm` models exactly that split while remaining **bit-exact
+with the flat path by construction**: payload delivery and owner-side
+reduction order are delegated to the parent :class:`SimComm` (the same
+arrays arrive in the same order, and under fault injection the same
+RNG draws happen in the same sequence), and the hierarchy is applied
+as a second accounting layer.  ``comm.log`` therefore still records
+the flat logical rank-to-rank traffic (Fig. 7 matrices, cost models
+and existing tests are unchanged), while ``comm.hier`` records the
+two-level traffic split — intra-node staging bytes/messages and the
+aggregated node-to-node exchange matrix — feeding the
+``comm.intra_*`` / ``comm.inter_*`` counters and the hierarchical α–β
+cost model in :mod:`repro.dist.comm_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs import (
+    COMM_INTER_BYTES,
+    COMM_INTER_MESSAGES,
+    COMM_INTRA_BYTES,
+    COMM_INTRA_MESSAGES,
+    REGISTRY,
+    add_count,
+    span,
+)
+from ..dist.simmpi import SimComm
+from ..resilience.faults import FaultInjector
+from .topology import Topology
+
+__all__ = ["HierComm", "HierLog"]
+
+
+@dataclass
+class HierLog:
+    """Two-level traffic split accumulated by a :class:`HierComm`.
+
+    ``inter_volume[g, h]`` is the aggregate payload node ``g``'s leader
+    sent to node ``h``'s leader; intra fields count the rank<->leader
+    staging hops plus same-node rank-to-rank messages.  Like
+    :class:`~repro.dist.simmpi.CommLog` this records *logical* traffic
+    — fault-injection retries are charged to ``fault.*`` counters, not
+    here.
+    """
+
+    size: int
+    num_nodes: int
+    intra_bytes: int = 0
+    intra_messages: int = 0
+    inter_messages: int = 0
+    collective_calls: int = 0
+    inter_volume: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.inter_volume is None:
+            self.inter_volume = np.zeros(
+                (self.num_nodes, self.num_nodes), dtype=np.int64
+            )
+
+    def inter_bytes(self) -> int:
+        """Total bytes that crossed the inter-node network."""
+        return int(self.inter_volume.sum())
+
+    def total_bytes(self) -> int:
+        """Intra staging traffic plus inter-node traffic."""
+        return self.intra_bytes + self.inter_bytes()
+
+    def max_inter_send(self) -> int:
+        """Largest per-node outbound aggregate (inter link bottleneck)."""
+        return int(self.inter_volume.sum(axis=1).max()) if self.num_nodes else 0
+
+
+class HierComm(SimComm):
+    """Two-level communicator: intra-node staging + inter-node exchange.
+
+    Delivery (and therefore every numerical result, reduction order,
+    and fault-injection RNG draw) is delegated verbatim to the flat
+    :class:`SimComm` — a :class:`HierComm` is bit-exact with a flat
+    communicator of the same size on any workload.  What the subclass
+    adds is the hierarchical *accounting*: each collective's traffic is
+    re-expressed as the two-level message pattern of Petascale XCT and
+    recorded in :attr:`hier` plus the ``comm.intra_*`` /
+    ``comm.inter_*`` counters.
+    """
+
+    def __init__(self, topology: Topology, fault_injector: FaultInjector | None = None):
+        super().__init__(topology.num_ranks, fault_injector)
+        self.topology = topology
+        self._node_of = topology.node_map()
+        self.hier = HierLog(topology.num_ranks, topology.num_nodes)
+
+    def reset_log(self) -> None:
+        super().reset_log()
+        self.hier = HierLog(self.topology.num_ranks, self.topology.num_nodes)
+
+    # -- collectives ----------------------------------------------------
+
+    def _alltoallv_exchange(
+        self, send: list[list[np.ndarray]]
+    ) -> list[list[np.ndarray]]:
+        # Flat delivery first: on a crash or undeliverable message the
+        # exception propagates and no hierarchical traffic is charged
+        # (the collective never completed).
+        recv = super()._alltoallv_exchange(send)
+        self._account_alltoallv(send)
+        return recv
+
+    def _allreduce_exchange(self, contributions: list[np.ndarray]) -> np.ndarray:
+        total = super()._allreduce_exchange(contributions)
+        self._account_allreduce(contributions)
+        return total
+
+    # -- two-level accounting -------------------------------------------
+
+    def _account_alltoallv(self, send: list[list[np.ndarray]]) -> None:
+        hier = self.hier
+        node_of = self._node_of
+        topo = self.topology
+        hier.collective_calls += 1
+        intra_bytes = 0
+        intra_messages = 0
+        # Aggregate payload each rank ships to / receives from remote
+        # nodes (the rank<->leader staging hops), and the node-pair
+        # aggregates that actually cross the network.
+        remote_out = [0] * self.size
+        remote_in = [0] * self.size
+        inter = np.zeros((topo.num_nodes, topo.num_nodes), dtype=np.int64)
+        for p in range(self.size):
+            g = node_of[p]
+            for q in range(self.size):
+                if p == q:
+                    continue
+                nbytes = int(np.asarray(send[p][q]).nbytes)
+                if not nbytes:
+                    continue
+                h = node_of[q]
+                if g == h:
+                    # Same node: one hop over the intra fabric, no
+                    # leader staging.
+                    intra_bytes += nbytes
+                    intra_messages += 1
+                else:
+                    remote_out[p] += nbytes
+                    remote_in[q] += nbytes
+                    inter[g, h] += nbytes
+        # Stage-up: each rank with outbound remote payload ships its
+        # combined buffer to the node leader (leaders already hold
+        # their own data — no hop).
+        for p in range(self.size):
+            if remote_out[p] and p != topo.leader(node_of[p]):
+                intra_bytes += remote_out[p]
+                intra_messages += 1
+        # Stage-down: the receiving leader fans each rank's inbound
+        # remote payload back out.
+        for q in range(self.size):
+            if remote_in[q] and q != topo.leader(node_of[q]):
+                intra_bytes += remote_in[q]
+                intra_messages += 1
+        inter_messages = int(np.count_nonzero(inter))
+        hier.intra_bytes += intra_bytes
+        hier.intra_messages += intra_messages
+        hier.inter_volume += inter
+        hier.inter_messages += inter_messages
+        self._emit(intra_bytes, intra_messages, int(inter.sum()), inter_messages)
+
+    def _account_allreduce(self, contributions: list[np.ndarray]) -> None:
+        hier = self.hier
+        topo = self.topology
+        hier.collective_calls += 1
+        nbytes = int(np.asarray(contributions[0]).nbytes)
+        intra_bytes = 0
+        intra_messages = 0
+        # Reduce-to-leader then broadcast-from-leader inside each node:
+        # (M_g - 1) messages each way.
+        for group in topo.groups:
+            hops = 2 * (len(group) - 1)
+            intra_messages += hops
+            intra_bytes += hops * nbytes
+        # Leaders run recursive halving over the inter-node network:
+        # 2 * (G-1)/G * payload per leader, attributed ring-style like
+        # the flat log.
+        num_nodes = topo.num_nodes
+        inter = np.zeros((num_nodes, num_nodes), dtype=np.int64)
+        inter_messages = 0
+        if num_nodes > 1:
+            per_leader = int(2 * (num_nodes - 1) / num_nodes * nbytes)
+            for g in range(num_nodes):
+                inter[g, (g + 1) % num_nodes] += per_leader
+                inter_messages += 1
+        hier.intra_bytes += intra_bytes
+        hier.intra_messages += intra_messages
+        hier.inter_volume += inter
+        hier.inter_messages += inter_messages
+        self._emit(intra_bytes, intra_messages, int(inter.sum()), inter_messages)
+
+    def _emit(
+        self,
+        intra_bytes: int,
+        intra_messages: int,
+        inter_bytes: int,
+        inter_messages: int,
+    ) -> None:
+        add_count(COMM_INTRA_BYTES, intra_bytes)
+        add_count(COMM_INTRA_MESSAGES, intra_messages)
+        add_count(COMM_INTER_BYTES, inter_bytes)
+        add_count(COMM_INTER_MESSAGES, inter_messages)
+        if REGISTRY.active:
+            with span(
+                "comm.intra_exchange",
+                nodes=self.topology.num_nodes,
+                bytes=intra_bytes,
+                messages=intra_messages,
+            ):
+                pass
+            with span(
+                "comm.inter_exchange",
+                nodes=self.topology.num_nodes,
+                bytes=inter_bytes,
+                messages=inter_messages,
+            ):
+                pass

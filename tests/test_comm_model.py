@@ -1,4 +1,10 @@
-"""Tests for the alpha-beta communication cost model."""
+"""Tests for the alpha-beta communication cost model.
+
+Everything in :mod:`repro.dist.comm_model` speaks one unit system —
+latencies in seconds, bandwidths in bytes/second, payload matrices in
+bytes — and validates its inputs; the audit battery at the bottom pins
+both contracts alongside the behavioural tests.
+"""
 
 import numpy as np
 import pytest
@@ -7,11 +13,14 @@ from repro.dist import (
     allreduce_time,
     alltoallv_time,
     alltoallv_time_from_log,
+    hier_alltoallv_time,
     memxct_comm_elements,
+    overlapped_exchange_time,
     trace_comm_elements,
 )
 from repro.dist.simmpi import CommLog
 from repro.machine import get_machine
+from repro.topology import Topology
 
 
 class TestAlltoallv:
@@ -96,3 +105,103 @@ class TestComplexityCurves:
         memxct_per_rank = memxct_comm_elements(m, n, p) / p
         trace_per_rank = trace_comm_elements(n, p)
         assert memxct_per_rank < trace_per_rank
+
+
+class TestValidation:
+    """Input contracts: every entry point rejects out-of-unit garbage."""
+
+    def test_allreduce_rejects_bad_ranks(self):
+        m = get_machine("theta")
+        with pytest.raises(ValueError, match="num_ranks"):
+            allreduce_time(100, 0, m)
+        with pytest.raises(ValueError, match="num_ranks"):
+            allreduce_time(100, -2, m)
+
+    def test_allreduce_rejects_negative_elements(self):
+        with pytest.raises(ValueError, match="num_elements"):
+            allreduce_time(-1, 4, get_machine("theta"))
+        assert allreduce_time(0, 4, get_machine("theta")) >= 0.0
+
+    def test_alltoallv_rejects_negative_bytes(self):
+        v = np.zeros((3, 3))
+        v[0, 1] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            alltoallv_time(v, get_machine("theta"))
+
+    def test_hier_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            hier_alltoallv_time(
+                np.zeros((2, 3)), Topology.flat(2), get_machine("dgx1")
+            )
+
+    def test_hier_rejects_topology_mismatch(self):
+        with pytest.raises(ValueError, match="topology spans"):
+            hier_alltoallv_time(
+                np.zeros((4, 4)), Topology.hierarchical(3, 2), get_machine("dgx1")
+            )
+
+    def test_overlap_rejects_negative_times(self):
+        for bad in [(-1.0, 0.0, 0.0), (0.0, -1.0, 0.0), (0.0, 0.0, -1.0)]:
+            with pytest.raises(ValueError, match="non-negative"):
+                overlapped_exchange_time(*bad)
+
+
+class TestHierAlltoallv:
+    def _cross_volume(self, p=8, payload=8e3):
+        """Every cross-rank pair ships a small payload: latency-bound."""
+        v = np.full((p, p), payload)
+        np.fill_diagonal(v, 0.0)
+        return v
+
+    def test_zero_traffic_is_free(self):
+        t = hier_alltoallv_time(
+            np.zeros((4, 4)), Topology.hierarchical(2, 2), get_machine("dgx1")
+        )
+        assert t == 0.0
+
+    def test_units_scale_with_bytes(self):
+        """Doubling every payload at least doubles the beta term — the
+        matrix really is bytes against bytes/second."""
+        m = get_machine("dgx1")
+        topo = Topology.hierarchical(2, 4)
+        v = self._cross_volume(8, 1e8)  # bandwidth-dominated
+        t1 = hier_alltoallv_time(v, topo, m)
+        t2 = hier_alltoallv_time(2 * v, topo, m)
+        assert t2 > 1.5 * t1
+
+    def test_flat_topology_never_hits_network(self):
+        """One node = no inter-node link: only the intra fabric is paid,
+        so the lower-latency fabric makes the exchange cheaper than the
+        flat network model (and no host-device staging is charged — the
+        payload never leaves the node)."""
+        m = get_machine("dgx1")
+        v = self._cross_volume(8, 1e6)
+        assert m.intra_latency_s < m.net_latency_s
+        assert hier_alltoallv_time(v, Topology.flat(8), m) < alltoallv_time(v, m)
+
+    def test_aggregation_wins_when_latency_bound(self):
+        """Many tiny cross-node messages: per-node startup beats per-rank
+        startup — the regime where the two-level exchange pays."""
+        m = get_machine("dgx1")
+        p = m.devices_per_node * 4
+        v = self._cross_volume(p, payload=64.0)
+        topo = Topology.grouped(p, m.devices_per_node)
+        assert hier_alltoallv_time(v, topo, m) < alltoallv_time(v, m)
+
+
+class TestOverlap:
+    def test_compute_fully_hides_inter(self):
+        assert overlapped_exchange_time(0.25, 1.0, 2.0) == pytest.approx(0.25)
+
+    def test_partial_exposure(self):
+        assert overlapped_exchange_time(0.25, 3.0, 2.0) == pytest.approx(1.25)
+
+    def test_no_compute_no_hiding(self):
+        assert overlapped_exchange_time(0.5, 2.0, 0.0) == pytest.approx(2.5)
+
+    def test_never_negative_and_bounded(self):
+        """Overlap can only shave the inter term: the result sits between
+        the intra floor and the fully sequential sum."""
+        for intra, inter, compute in [(0.1, 0.9, 0.4), (0.0, 1.0, 1.0), (1.0, 0.0, 5.0)]:
+            t = overlapped_exchange_time(intra, inter, compute)
+            assert intra <= t <= intra + inter

@@ -28,6 +28,7 @@ from repro.dataio import (
     NpzShardSink,
     NpzShardSource,
     RawVolumeSink,
+    TiffStackSink,
     VolumeSink,
     load_volume,
     make_sink,
@@ -39,9 +40,32 @@ from repro.pipeline import reconstruct_stack
 from repro.resilience import RetryPolicy
 
 import repro.dataio.reader as reader_module
+import repro.dataio.writer as writer_module
 
 HAVE_H5PY = reader_module.h5py is not None
 needs_h5py = pytest.mark.skipif(not HAVE_H5PY, reason="h5py not installed")
+HAVE_TIFFFILE = writer_module.tifffile is not None
+needs_tifffile = pytest.mark.skipif(
+    not HAVE_TIFFFILE, reason="tifffile not installed"
+)
+
+
+class _FakeTifffile:
+    """Stand-in for the optional dependency: npy bytes behind the API.
+
+    Lets the sink's staged-write/atomic-rename machinery run in
+    environments without tifffile; the real-format roundtrip is the
+    separate ``needs_tifffile`` test.
+    """
+
+    @staticmethod
+    def imwrite(path, data, **_kwargs):
+        with open(path, "wb") as fh:
+            np.save(fh, np.asarray(data))
+
+    @staticmethod
+    def imread(path):
+        return np.load(path)
 
 
 @pytest.fixture(scope="module")
@@ -257,6 +281,48 @@ class TestSinks:
         assert isinstance(make_sink(tmp_path / "dir", 6, 4), NpzShardSink)
         with pytest.raises(ValueError, match="npz"):
             make_sink(tmp_path / "v.npz", 6, 4)
+
+    def test_tiff_sink_clear_error_without_tifffile(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(writer_module, "tifffile", None)
+        with pytest.raises(MissingDependencyError, match="tifffile"):
+            TiffStackSink(tmp_path / "vol.tif", 6, 4)
+        with pytest.raises(MissingDependencyError, match="tifffile"):
+            make_sink(tmp_path / "vol.tif", 6, 4)
+        with pytest.raises(MissingDependencyError, match="tifffile"):
+            load_volume(tmp_path / "vol.tif")
+
+    def test_tiff_sink_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(writer_module, "tifffile", _FakeTifffile)
+        volume = self._slabs()
+        sink = make_sink(tmp_path / "vol.tif", 6, 4)
+        assert isinstance(sink, TiffStackSink)
+        sink.write(3, 6, volume[3:6])  # out of order is fine
+        sink.write(0, 3, volume[0:3])
+        path = sink.finalize()
+        assert path == tmp_path / "vol.tif"
+        assert not (tmp_path / "vol.tif.partial").exists()  # stage cleaned
+        npt.assert_array_equal(load_volume(path), volume)
+
+    def test_tiff_sink_resume_reopens_partial(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(writer_module, "tifffile", _FakeTifffile)
+        volume = self._slabs()
+        first = TiffStackSink(tmp_path / "vol.tif", 6, 4)
+        first.write(0, 3, volume[0:3])
+        first.close()
+        second = TiffStackSink(tmp_path / "vol.tif", 6, 4, resume=True)
+        second.write(3, 6, volume[3:6])
+        npt.assert_array_equal(load_volume(second.finalize()), volume)
+
+    @needs_tifffile
+    def test_tiff_sink_real_format_roundtrip(self, tmp_path):
+        volume = self._slabs()
+        sink = TiffStackSink(tmp_path / "vol.tif", 6, 4)
+        sink.write(0, 3, volume[0:3])
+        sink.write(3, 6, volume[3:6])
+        path = sink.finalize()
+        npt.assert_array_equal(load_volume(path), volume)
+        # The published file really is a TIFF, not our staging format.
+        assert path.read_bytes()[:2] in (b"II", b"MM")
 
 
 class _CountingSource(ArraySource):

@@ -179,7 +179,9 @@ class TestCrashDegradation:
         op = _partitioned(operator, 4, faults=injector)
         result = cgls(op, y, num_iterations=ITERATIONS)
         assert op.num_ranks == 3
-        assert op.degradations == [{"dead": [1], "from_ranks": 4, "to_ranks": 3}]
+        assert op.degradations == [
+            {"dead": [1], "from_ranks": 4, "to_ranks": 3, "topology": "flat(4)"}
+        ]
         assert injector.stats.crashes == 1
         scale = float(np.max(np.abs(reference.x)))
         assert np.max(np.abs(result.x - reference.x)) <= 1e-5 * scale

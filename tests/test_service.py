@@ -606,6 +606,121 @@ class TestRecovery:
             )
 
 
+# -- spool eviction ------------------------------------------------------
+
+
+class TestEviction:
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="result_ttl_s"):
+            make_engine(tmp_path, result_ttl_s=0.0)
+        with pytest.raises(ValueError, match="result_ttl_s"):
+            make_engine(tmp_path, result_ttl_s=-1.0)
+        with pytest.raises(ValueError, match="spool_cap_bytes"):
+            make_engine(tmp_path, spool_cap_bytes=-1)
+
+    def test_ttl_evicts_finished_result(self, tmp_path):
+        clock = TickClock(step=0.0)
+        with make_engine(tmp_path, clock=clock, result_ttl_s=10.0) as svc:
+            svc.start(recover=False)
+            ack = svc.submit(sino(0), spec())
+            assert svc.wait([ack["job_id"]], timeout=60)
+            job_id = ack["job_id"]
+            # Within TTL the result is served normally.
+            assert np.array_equal(svc.result(job_id), reference(sino(0)))
+            clock.now += 30.0  # TTL passes
+            svc._sweep_evictions()
+            with pytest.raises(JobFailedError, match="evicted"):
+                svc.result(job_id)
+            status = svc.status(job_id)
+            assert status["state"] == "done"  # history survives eviction
+            assert status["evicted"]
+            assert not (tmp_path / "spool" / "jobs" / job_id).exists()
+            entries = svc.journal.replay()
+            assert entries[job_id].meta.get("evicted") is True
+            with obs.capture() as cap:
+                svc.sync_obs()
+            counters = {c.name: c.total for c in cap.counters.values()}
+            assert counters[obs.SERVICE_EVICTIONS] == 1
+
+    def test_spool_cap_evicts_oldest_first(self, tmp_path):
+        from repro.service.engine import Job
+
+        svc = make_engine(tmp_path, spool_cap_bytes=10**9)
+        image = np.zeros((CHANNELS, CHANNELS))
+        jobs = []
+        for i, wall in enumerate([100.0, 200.0, 300.0]):
+            job = Job(job_id=f"job{i}", spec=spec(), state="done",
+                      accepted_wall=wall, terminal_wall=wall)
+            svc.journal.save_input(job.job_id, sino(i), spec().to_dict())
+            svc.journal.save_result(job.job_id, image, {"iterations": 6})
+            job.payload_bytes = svc.journal.payload_bytes(job.job_id)
+            svc._jobs[job.job_id] = job
+            jobs.append(job)
+        # A cap that holds exactly the two newest payloads: the oldest
+        # (and only the oldest) must go.
+        cap = jobs[1].payload_bytes + jobs[2].payload_bytes
+        object.__setattr__(svc.config, "spool_cap_bytes", cap)
+        svc._sweep_evictions()
+        assert jobs[0].evicted
+        assert not jobs[1].evicted and not jobs[2].evicted
+        assert not (tmp_path / "spool" / "jobs" / "job0").exists()
+        (tmp_path / "spool" / "jobs" / "job1" / "result.npz").stat()
+        svc.close()
+
+    def test_cap_zero_reclaims_all_terminal_payloads(self, tmp_path):
+        with make_engine(tmp_path, spool_cap_bytes=0) as svc:
+            svc.start(recover=False)
+            acks = [svc.submit(sino(i), spec()) for i in range(2)]
+            assert svc.wait(timeout=60)
+            svc._sweep_evictions()
+            for ack in acks:
+                with pytest.raises(JobFailedError, match="evicted"):
+                    svc.result(ack["job_id"])
+            assert svc.stats()["spool_payload_bytes"] == 0
+            assert svc.stats()["evicted_jobs"] == 2
+
+    def test_eviction_survives_restart(self, tmp_path):
+        clock = TickClock(step=0.0)
+        with make_engine(tmp_path, clock=clock, result_ttl_s=5.0) as svc1:
+            svc1.start(recover=False)
+            ack = svc1.submit(sino(0), spec())
+            assert svc1.wait([ack["job_id"]], timeout=60)
+            clock.now += 10.0
+            svc1._sweep_evictions()
+        # A fresh engine (no eviction config) learns from the journal
+        # that the payload is durably gone: 410, never a silent 404.
+        with make_engine(tmp_path) as svc2:
+            svc2.start(recover=True)
+            status = svc2.status(ack["job_id"])
+            assert status["state"] == "done"
+            assert status["evicted"]
+            with pytest.raises(JobFailedError, match="evicted"):
+                svc2.result(ack["job_id"])
+
+    def test_evicted_result_is_http_410(self, tmp_path):
+        clock = TickClock(step=0.0)
+        svc = make_engine(tmp_path, clock=clock, result_ttl_s=5.0)
+        svc.start(recover=False)
+        server = ServiceServer(("127.0.0.1", 0), svc)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.port}"
+        try:
+            client = ServiceClient(url)
+            ack = client.submit(sino(0), {"iterations": 6})
+            assert client.wait(ack["job_id"], timeout=60)["state"] == "done"
+            clock.now += 30.0
+            svc._sweep_evictions()
+            with pytest.raises(Exception) as err:
+                urllib.request.urlopen(f"{url}/v1/jobs/{ack['job_id']}/result")
+            assert err.value.code == 410
+        finally:
+            server.shutdown()
+            server.server_close()
+            svc.stop(drain=False, timeout=10)
+            svc.close()
+
+
 # -- chaos ---------------------------------------------------------------
 
 
