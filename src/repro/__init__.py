@@ -18,7 +18,7 @@ Public API highlights:
   cache simulator behind the performance studies.
 """
 
-from . import autotune, cache, cachesim, cli, core, dataio, dist, geometry, io, machine, measurement, obs, ordering, persist, phantoms, pipeline, precision, resilience, service, solvers, sparse, trace, utils
+from . import autotune, cache, cachesim, cli, core, dataio, dist, geometry, io, machine, measurement, obs, ordering, persist, phantoms, pipeline, precision, resilience, scenarios, service, solvers, sparse, trace, utils
 from .core import (
     CompXCTOperator,
     DatasetSpec,
@@ -48,6 +48,7 @@ __all__ = [
     "phantoms",
     "pipeline",
     "precision",
+    "scenarios",
     "service",
     "solvers",
     "sparse",

@@ -43,15 +43,23 @@ def fingerprint_inputs(
     fingerprinting and workers never change the numbers.
     """
     config = config or OperatorConfig()
-    doc = {
-        "format_version": FORMAT_VERSION,
-        "geometry": {
+    # Non-parallel geometries (cone-beam) self-describe their document;
+    # the historical parallel-beam section below stays byte-identical so
+    # every pre-existing cache key remains valid.
+    fields = getattr(geometry, "fingerprint_fields", None)
+    if callable(fields):
+        geometry_doc = fields()
+    else:
+        geometry_doc = {
             "num_angles": int(geometry.num_angles),
             "num_channels": int(geometry.num_channels),
             "angle_range": float(geometry.angle_range).hex(),
             "grid_n": int(geometry.grid.n),
             "pixel_size": float(geometry.grid.pixel_size).hex(),
-        },
+        }
+    doc = {
+        "format_version": FORMAT_VERSION,
+        "geometry": geometry_doc,
         "ordering": {
             "name": str(ordering),
             "min_tiles": int(min_tiles),

@@ -3,7 +3,12 @@
 Twelve subcommands cover the beamline workflow:
 
 * ``info``        — list datasets (Table 3) and machine models (Table 2);
-* ``preprocess``  — memoize a scan geometry into an operator file;
+* ``preprocess``  — memoize a scan geometry into an operator file
+  (``--geometry cone`` selects the 3D cone-beam geometry);
+* ``scenario``    — beamline workload scenarios on a synthetic phantom:
+  sparse-view / limited-angle degraded scans with regularized solvers,
+  the batched try-center rotation-axis sweep, and a 3D cone-beam smoke
+  reconstruction (see ``docs/scenarios.md``);
 * ``reconstruct`` — reconstruct a sinogram (from a .npz file or a
   synthetic demo dataset) with a chosen solver;
 * ``pipeline``    — streaming multi-slice stack reconstruction:
@@ -103,11 +108,28 @@ def _print_cache_status(report) -> None:
         )
 
 
+def _build_cli_geometry(args: argparse.Namespace):
+    """Build the scan geometry selected by ``--geometry``."""
+    from .geometry import ConeBeamGeometry, Grid3D, ParallelBeamGeometry
+
+    if getattr(args, "geometry", "parallel") == "cone":
+        n = args.channels
+        nz = args.grid_nz or args.det_rows
+        source = args.source_distance or 2.0 * n
+        return ConeBeamGeometry(
+            num_angles=args.angles,
+            det_rows=args.det_rows,
+            det_cols=n,
+            source_distance=source,
+            grid=Grid3D(n, nz),
+        )
+    return ParallelBeamGeometry(args.angles, args.channels)
+
+
 def _cmd_preprocess(args: argparse.Namespace) -> int:
-    from .geometry import ParallelBeamGeometry
     from .io import save_operator
 
-    geometry = ParallelBeamGeometry(args.angles, args.channels)
+    geometry = _build_cli_geometry(args)
     config = OperatorConfig(
         kernel=args.kernel,
         partition_size=args.partition_size,
@@ -122,11 +144,112 @@ def _cmd_preprocess(args: argparse.Namespace) -> int:
     )
     save_operator(args.output, operator)
     _print_cache_status(report)
+    shape = (
+        f"{args.angles}x{args.det_rows}x{args.channels} (cone)"
+        if getattr(args, "geometry", "parallel") == "cone"
+        else f"{args.angles}x{args.channels}"
+    )
     print(
-        f"preprocessed {args.angles}x{args.channels} in "
+        f"preprocessed {shape} in "
         f"{format_seconds(time.perf_counter() - t0)} "
         f"(tracing {format_seconds(report.tracing_seconds)}); "
         f"nnz {operator.matrix.nnz:,}; saved to {args.output}"
+    )
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .phantoms import ellipsoid_volume, shepp_logan
+    from .scenarios import (
+        nominal_center,
+        reconstruct_scenario,
+        shift_sinogram,
+        try_center,
+    )
+
+    config = OperatorConfig(
+        kernel=args.kernel,
+        workers=args.workers,
+        dtype=args.dtype,
+        tune=args.tune,
+    )
+    t0 = time.perf_counter()
+
+    if args.kind == "cone":
+        # 3D cone-beam smoke reconstruction of the ellipsoid phantom.
+        from .solvers import cgls
+
+        args.geometry = "cone"
+        geometry = _build_cli_geometry(args)
+        operator, report = preprocess(geometry, config=config, cache=args.cache)
+        _print_cache_status(report)
+        volume = ellipsoid_volume(geometry.grid.n, geometry.grid.nz)
+        y = operator.forward(operator.volume_to_ordered(volume))
+        result = cgls(operator, y, num_iterations=args.iterations)
+        recon = operator.ordered_to_volume(result.x)
+        quality = psnr(recon, volume)
+        np.savez_compressed(args.output, volume=recon, reference=volume)
+        print(
+            f"cone reconstruction {geometry.num_angles} views x "
+            f"{geometry.det_rows}x{geometry.det_cols} detector -> "
+            f"{geometry.grid.shape} volume: psnr {quality:.1f} dB, "
+            f"residual {result.residual_norms[-1]:.3e}, "
+            f"{format_seconds(time.perf_counter() - t0)}; saved to {args.output}"
+        )
+        return 0
+
+    geometry = _build_cli_geometry(args)
+    phantom = shepp_logan(args.channels)
+    full_op, report = preprocess(geometry, config=config, cache=args.cache)
+    _print_cache_status(report)
+    sinogram = full_op.project_image(phantom)
+
+    if args.kind == "try-center":
+        shifted = shift_sinogram(sinogram, -args.shift)
+        nominal = nominal_center(geometry)
+        centers = nominal + np.arange(
+            -args.sweep, args.sweep + args.step / 2, args.step
+        )
+        result = try_center(
+            geometry,
+            shifted,
+            centers,
+            num_iterations=args.iterations,
+            operator=full_op,
+        )
+        np.savez_compressed(
+            args.output,
+            centers=result.centers,
+            scores=result.scores,
+            image=result.images[result.best_index],
+        )
+        print(
+            f"try-center swept {result.centers.size} candidates in "
+            f"{format_seconds(time.perf_counter() - t0)}: best center "
+            f"{result.best_center:.2f} (true {nominal + args.shift:.2f}, "
+            f"nominal {nominal:.2f}); saved to {args.output}"
+        )
+        return 0
+
+    result = reconstruct_scenario(
+        geometry,
+        sinogram,
+        args.kind,
+        keep_every=args.keep_every,
+        fraction=args.fraction,
+        solver=args.solver,
+        strength=args.strength,
+        num_iterations=args.iterations,
+        config=config,
+        cache=args.cache,
+    )
+    quality = psnr(result.image, phantom)
+    np.savez_compressed(args.output, image=result.image, reference=phantom)
+    print(
+        f"{args.kind} kept {result.views_kept}/{geometry.num_angles} views, "
+        f"solver {args.solver}: psnr {quality:.1f} dB, "
+        f"residual {result.solve.residual_norms[-1]:.3e}, "
+        f"{format_seconds(time.perf_counter() - t0)}; saved to {args.output}"
     )
     return 0
 
@@ -813,11 +936,96 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--angles", type=int, required=True)
     p.add_argument("--channels", type=int, required=True)
+    p.add_argument(
+        "--geometry",
+        default="parallel",
+        choices=("parallel", "cone"),
+        help="scan geometry: 2D parallel-beam (default) or 3D cone-beam",
+    )
+    p.add_argument(
+        "--det-rows",
+        type=int,
+        default=8,
+        help="cone-beam detector rows (--geometry cone)",
+    )
+    p.add_argument(
+        "--source-distance",
+        type=float,
+        default=None,
+        help="cone-beam source-to-axis distance (default 2x channels)",
+    )
+    p.add_argument(
+        "--grid-nz",
+        type=int,
+        default=None,
+        help="cone-beam volume slices (default: det-rows)",
+    )
     p.add_argument("--ordering", default="pseudo-hilbert")
     p.add_argument("--kernel", default="buffered", choices=("csr", "buffered", "ell"))
     p.add_argument("--partition-size", type=int, default=128)
     p.add_argument("--buffer-kb", type=int, default=8)
     p.add_argument("--output", "-o", default="operator.npz")
+
+    p = sub.add_parser(
+        "scenario",
+        help="degraded-scan and alignment workload scenarios",
+        parents=[obs_flags, cache_flags, workers_flags, tune_flags],
+    )
+    p.add_argument(
+        "kind",
+        choices=("sparse-view", "limited-angle", "try-center", "cone"),
+        help="scenario to run on a synthetic phantom scan",
+    )
+    p.add_argument("--angles", type=int, default=96, help="full-scan view count")
+    p.add_argument("--channels", type=int, default=64, help="detector channels N")
+    p.add_argument(
+        "--det-rows", type=int, default=8, help="cone-beam detector rows"
+    )
+    p.add_argument(
+        "--source-distance",
+        type=float,
+        default=None,
+        help="cone-beam source-to-axis distance (default 2x channels)",
+    )
+    p.add_argument(
+        "--grid-nz", type=int, default=None, help="cone-beam volume slices"
+    )
+    p.add_argument(
+        "--keep-every", type=int, default=4, help="sparse-view: keep every k-th view"
+    )
+    p.add_argument(
+        "--fraction",
+        type=float,
+        default=0.5,
+        help="limited-angle: fraction of views kept",
+    )
+    p.add_argument(
+        "--solver",
+        default="tv",
+        choices=("cgls", "tikhonov", "gradient", "tv"),
+        help="degraded-scan solver",
+    )
+    p.add_argument(
+        "--strength", type=float, default=0.05, help="regularization strength"
+    )
+    p.add_argument(
+        "--shift",
+        type=float,
+        default=1.5,
+        help="try-center: simulated rotation-axis offset in channels",
+    )
+    p.add_argument(
+        "--sweep",
+        type=float,
+        default=3.0,
+        help="try-center: half-width of the candidate sweep in channels",
+    )
+    p.add_argument(
+        "--step", type=float, default=0.5, help="try-center: candidate spacing"
+    )
+    p.add_argument("--kernel", default="buffered", choices=("csr", "buffered", "ell"))
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--output", "-o", default="scenario.npz")
 
     p = sub.add_parser(
         "reconstruct",
@@ -1120,6 +1328,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "info": _cmd_info,
         "preprocess": _cmd_preprocess,
+        "scenario": _cmd_scenario,
         "reconstruct": _cmd_reconstruct,
         "pipeline": _cmd_pipeline,
         "bench": _cmd_bench,

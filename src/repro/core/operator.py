@@ -443,6 +443,38 @@ class MemXCTOperator:
         x = self.adjoint(self.sinogram_to_ordered(sinogram))
         return self.ordered_to_image(x)
 
+    # 3D (cone-beam) variants of the image-space helpers.  The ordering
+    # bijections are flat, so to_ordered accepts any shape; only the
+    # inverse direction needs the geometry's true array shape back.
+
+    def volume_to_ordered(self, volume: np.ndarray) -> np.ndarray:
+        """Row-major ``(nz, n, n)`` volume -> ordered voxel vector."""
+        return self.tomo_ordering.to_ordered(volume)
+
+    def ordered_to_volume(self, x: np.ndarray) -> np.ndarray:
+        """Ordered voxel vector -> row-major ``(nz, n, n)`` volume."""
+        return self.tomo_ordering.from_ordered(x).reshape(self.geometry.grid.shape)
+
+    def projections_to_ordered(self, projections: np.ndarray) -> np.ndarray:
+        """``(M, det_rows, det_cols)`` stack -> ordered measurement vector."""
+        return self.sino_ordering.to_ordered(projections)
+
+    def ordered_to_projections(self, y: np.ndarray) -> np.ndarray:
+        """Ordered measurement vector -> ``(M, det_rows, det_cols)`` stack."""
+        return self.sino_ordering.from_ordered(y).reshape(
+            self.geometry.sinogram_shape
+        )
+
+    def project_volume(self, volume: np.ndarray) -> np.ndarray:
+        """Forward-project a 3D volume, returning a projection stack."""
+        y = self.forward(self.volume_to_ordered(volume))
+        return self.ordered_to_projections(y)
+
+    def backproject_projections(self, projections: np.ndarray) -> np.ndarray:
+        """Backproject a projection stack, returning a 3D volume."""
+        x = self.adjoint(self.projections_to_ordered(projections))
+        return self.ordered_to_volume(x)
+
     # -- accounting ------------------------------------------------------
 
     def memory_footprint(self) -> dict[str, int]:

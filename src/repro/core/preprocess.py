@@ -159,14 +159,24 @@ def preprocess(
         kernel=config.kernel,
     ):
         with span("preprocess.ordering", scheme=ordering) as sp:
+            # Geometries whose domains are not literally 2D (e.g. the
+            # cone-beam voxel volume) advertise equivalent layout
+            # rectangles; the orderings only need a bijection over flat
+            # indices, so the 2D machinery applies unchanged.
             n = geometry.grid.n
+            tomo_rows, tomo_cols = getattr(
+                geometry, "tomo_layout_shape", None
+            ) or (n, n)
+            sino_rows, sino_cols = getattr(
+                geometry, "sino_layout_shape", None
+            ) or (geometry.num_angles, geometry.num_channels)
             tomo_ordering = make_ordering(
-                ordering, n, n, tile_size=tile_size, min_tiles=min_tiles
+                ordering, tomo_rows, tomo_cols, tile_size=tile_size, min_tiles=min_tiles
             )
             sino_ordering = make_ordering(
                 ordering,
-                geometry.num_angles,
-                geometry.num_channels,
+                sino_rows,
+                sino_cols,
                 tile_size=tile_size,
                 min_tiles=min_tiles,
             )

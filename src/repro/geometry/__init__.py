@@ -1,7 +1,15 @@
-"""Scan geometry: pixel grids, parallel-beam and fan-beam layouts."""
+"""Scan geometry: pixel/voxel grids, parallel-, fan- and cone-beam layouts."""
 
+from .cone_beam import ConeBeamGeometry, Grid3D
 from .fan_beam import FanBeamGeometry
 from .grid import Grid2D
 from .parallel_beam import ParallelBeamGeometry, Ray
 
-__all__ = ["FanBeamGeometry", "Grid2D", "ParallelBeamGeometry", "Ray"]
+__all__ = [
+    "ConeBeamGeometry",
+    "FanBeamGeometry",
+    "Grid2D",
+    "Grid3D",
+    "ParallelBeamGeometry",
+    "Ray",
+]

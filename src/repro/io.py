@@ -25,7 +25,7 @@ from pathlib import Path
 import numpy as np
 
 from .core import MemXCTOperator, OperatorConfig
-from .geometry import Grid2D, ParallelBeamGeometry
+from .geometry import ConeBeamGeometry, Grid2D, Grid3D, ParallelBeamGeometry
 from .ordering import DomainOrdering
 from .persist import atomic_savez as _atomic_savez
 from .persist import payload_checksum as _payload_checksum
@@ -188,6 +188,20 @@ def save_operator(
         # files written before the dtype path simply lack the key.
         "dtype": operator.config.dtype or "",
     }
+    if isinstance(g, ConeBeamGeometry):
+        # Optional keys only — parallel-beam files are byte-compatible
+        # with every pre-cone reader, so no format bump is needed.
+        payload.update(
+            {
+                "geometry_kind": "cone",
+                "det_rows": g.det_rows,
+                "det_cols": g.det_cols,
+                "source_distance": g.source_distance,
+                "detector_distance": g.detector_distance,
+                "det_spacing": g.det_spacing,
+                "grid_nz": g.grid.nz,
+            }
+        )
     if operator.buffered_forward is not None:
         payload.update(_buffered_payload("bf_", operator.buffered_forward))
     if operator.buffered_adjoint is not None:
@@ -226,22 +240,46 @@ def _operator_from_npz(data) -> MemXCTOperator:
                 f"(stored {stored:#010x}, computed {actual:#010x})"
             )
 
-    grid = Grid2D(int(data["grid_n"]), float(data["pixel_size"]))
-    geometry = ParallelBeamGeometry(
-        int(data["num_angles"]),
-        int(data["num_channels"]),
-        grid=grid,
-        angle_range=float(data["angle_range"]),
+    kind = str(data["geometry_kind"][()]) if "geometry_kind" in data else "parallel"
+    if kind == "cone":
+        grid = Grid3D(
+            int(data["grid_n"]), int(data["grid_nz"]), float(data["pixel_size"])
+        )
+        geometry = ConeBeamGeometry(
+            int(data["num_angles"]),
+            int(data["det_rows"]),
+            int(data["det_cols"]),
+            source_distance=float(data["source_distance"]),
+            detector_distance=float(data["detector_distance"]),
+            det_spacing=float(data["det_spacing"]),
+            grid=grid,
+            angle_range=float(data["angle_range"]),
+        )
+        num_pixels = grid.num_voxels
+        tomo_shape = geometry.tomo_layout_shape
+        sino_shape = geometry.sino_layout_shape
+    elif kind == "parallel":
+        grid = Grid2D(int(data["grid_n"]), float(data["pixel_size"]))
+        geometry = ParallelBeamGeometry(
+            int(data["num_angles"]),
+            int(data["num_channels"]),
+            grid=grid,
+            angle_range=float(data["angle_range"]),
+        )
+        num_pixels = grid.num_pixels
+        tomo_shape = (grid.n, grid.n)
+        sino_shape = (geometry.num_angles, geometry.num_channels)
+    else:
+        raise OperatorFormatError(f"unsupported geometry kind {kind!r}")
+    tomo = _ordering_from_arrays(
+        data["tomo_name"][()], tomo_shape[0], tomo_shape[1], data["tomo_perm"]
     )
-    n = grid.n
-    tomo = _ordering_from_arrays(data["tomo_name"][()], n, n, data["tomo_perm"])
     sino = _ordering_from_arrays(
-        data["sino_name"][()], geometry.num_angles, geometry.num_channels,
-        data["sino_perm"],
+        data["sino_name"][()], sino_shape[0], sino_shape[1], data["sino_perm"]
     )
     matrix = CSRMatrix(
         displ=data["displ"], ind=data["ind"], val=data["val"],
-        num_cols=grid.n * grid.n,
+        num_cols=num_pixels,
         value_dtype=data["val"].dtype.name,
     )
     saved_dtype = str(data["dtype"][()]) if "dtype" in data else ""

@@ -108,8 +108,26 @@ def estimate_center_of_rotation(sinogram: np.ndarray) -> float:
     sino = np.asarray(sinogram, dtype=np.float64)
     if sino.ndim != 2 or sino.shape[0] < 2:
         raise ValueError("need a 2D sinogram with at least two projections")
+    if sino.shape[1] < 3:
+        raise ValueError(
+            f"need at least 3 detector channels to localize the axis, "
+            f"got {sino.shape[1]}"
+        )
+    if not np.isfinite(sino[0]).all() or not np.isfinite(sino[-1]).all():
+        raise ValueError(
+            "sinogram contains non-finite values in the reference "
+            "projections; clean the data before estimating the center"
+        )
     p0 = sino[0] - sino[0].mean()
     p180 = sino[-1][::-1] - sino[-1].mean()
+    # A flat (zero-variance) projection correlates identically at every
+    # lag — argmax would return the arbitrary first maximum and the
+    # "estimate" would be garbage.  Fail loudly instead.
+    if float(p0 @ p0) == 0.0 or float(p180 @ p180) == 0.0:
+        raise ValueError(
+            "reference projections have zero variance (blank detector "
+            "rows); the correlation peak is undefined"
+        )
     n = sino.shape[1]
     correlation = np.correlate(p0, p180, mode="full")  # lags -(n-1)..(n-1)
     peak = int(np.argmax(correlation))

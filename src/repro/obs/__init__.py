@@ -84,6 +84,9 @@ from .counters import (
     SOLVER_ITERATIONS,
     DTYPE_FP32_SPMV,
     DTYPE_FP64_SPMV,
+    SCENARIO_RUNS,
+    SCENARIO_VIEWS_DROPPED,
+    SCENARIO_CENTER_CANDIDATES,
     SPMV_CALLS,
     SPMV_FLOPS,
     SPMV_IRREGULAR_BYTES,
@@ -148,6 +151,9 @@ __all__ = [
     "SERVICE_REJECTED",
     "SERVICE_RETRIES",
     "SERVICE_SUBMITTED",
+    "SCENARIO_CENTER_CANDIDATES",
+    "SCENARIO_RUNS",
+    "SCENARIO_VIEWS_DROPPED",
     "SOLVER_ITERATIONS",
     "SPMV_CALLS",
     "SPMV_FLOPS",

@@ -41,6 +41,9 @@ __all__ = [
     "AUTOTUNE_TRIALS",
     "DTYPE_FP32_SPMV",
     "DTYPE_FP64_SPMV",
+    "SCENARIO_RUNS",
+    "SCENARIO_VIEWS_DROPPED",
+    "SCENARIO_CENTER_CANDIDATES",
     "FAULT_DROPS",
     "FAULT_CORRUPTIONS",
     "FAULT_DELAYS",
@@ -194,6 +197,13 @@ DTYPE_FP32_SPMV = "dtype.fp32_spmv"
 #: SpMV kernel applications computed in float64 (opt-in fp64 path).
 DTYPE_FP64_SPMV = "dtype.fp64_spmv"
 
+#: Scenario reconstructions run (sparse-view, limited-angle, try-center).
+SCENARIO_RUNS = "scenario.runs"
+#: Projection views dropped by a degraded-scan scenario.
+SCENARIO_VIEWS_DROPPED = "scenario.views_dropped"
+#: Rotation-center candidates scored by a try-center sweep.
+SCENARIO_CENTER_CANDIDATES = "scenario.center_candidates"
+
 #: Default unit per canonical counter name.
 CANONICAL_UNITS = {
     SPMV_FLOPS: "flop",
@@ -253,6 +263,9 @@ CANONICAL_UNITS = {
     AUTOTUNE_TRIALS: "trial",
     DTYPE_FP32_SPMV: "call",
     DTYPE_FP64_SPMV: "call",
+    SCENARIO_RUNS: "run",
+    SCENARIO_VIEWS_DROPPED: "view",
+    SCENARIO_CENTER_CANDIDATES: "candidate",
 }
 
 

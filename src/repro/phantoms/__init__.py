@@ -11,9 +11,12 @@ from .stack import (
     write_stack_dataset,
 )
 from .synthetic import beer_law_sinogram, brain_phantom, shale_phantom
+from .volume import ellipsoid_volume, shepp_logan_3d
 
 __all__ = [
     "shepp_logan",
+    "ellipsoid_volume",
+    "shepp_logan_3d",
     "beer_law_sinogram",
     "brain_phantom",
     "shale_phantom",

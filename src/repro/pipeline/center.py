@@ -36,17 +36,31 @@ CENTER_METHODS = ("com", "correlation")
 def _center_of_mass_shift(sinogram: np.ndarray, angles: np.ndarray) -> float:
     weights = np.asarray(sinogram, dtype=np.float64)
     # Row-wise centroids; rows with no attenuation carry no information
-    # and are dropped from the fit.
-    totals = weights.sum(axis=1)
-    valid = totals > 0
+    # and are dropped from the fit.  Rows with non-finite samples or a
+    # vanishing total are equally uninformative (a near-zero total
+    # amplifies noise into an arbitrary centroid), so they are skipped
+    # with the same mask rather than poisoning the least-squares fit.
+    finite_rows = np.isfinite(weights).all(axis=1)
+    totals = np.where(finite_rows, weights.sum(axis=1, where=np.isfinite(weights)), 0.0)
+    scale = float(np.abs(weights[finite_rows]).max()) if finite_rows.any() else 0.0
+    threshold = max(scale * weights.shape[1] * 1e-12, 0.0)
+    valid = finite_rows & (totals > threshold)
     if valid.sum() < 3:
         raise ValueError(
-            "sinogram has fewer than 3 non-empty projections; "
-            "cannot fit the centroid sinusoid"
+            "sinogram has fewer than 3 usable projections (non-empty, "
+            "finite, with positive total attenuation); cannot fit the "
+            "centroid sinusoid"
         )
     channels = np.arange(weights.shape[1], dtype=np.float64)
     centroids = (weights[valid] * channels).sum(axis=1) / totals[valid]
-    th = angles[valid]
+    ok = np.isfinite(centroids)
+    if ok.sum() < 3:
+        raise ValueError(
+            "fewer than 3 projections yield a finite centroid; "
+            "cannot fit the centroid sinusoid"
+        )
+    centroids = centroids[ok]
+    th = angles[valid][ok]
     design = np.column_stack([np.ones(th.shape[0]), np.cos(th), np.sin(th)])
     coeffs, *_ = np.linalg.lstsq(design, centroids, rcond=None)
     return float(coeffs[0]) - (weights.shape[1] - 1) / 2.0

@@ -22,7 +22,13 @@ from .icd import icd
 from .mlem import mlem
 from .lcurve import lcurve_corner, overfit_onset
 from .sgd import sgd
-from .regularized import TikhonovOperator, regularized_cgls
+from .regularized import (
+    GradientAugmentedOperator,
+    GradientOperator,
+    TikhonovOperator,
+    regularized_cgls,
+    tv_cgls,
+)
 from .sirt import sirt
 
 __all__ = [
@@ -41,7 +47,10 @@ __all__ = [
     "icd",
     "mlem",
     "TikhonovOperator",
+    "GradientOperator",
+    "GradientAugmentedOperator",
     "regularized_cgls",
+    "tv_cgls",
     "lcurve_corner",
     "overfit_onset",
     "observe_health",

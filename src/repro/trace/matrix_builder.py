@@ -16,12 +16,15 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..geometry import ParallelBeamGeometry
+from ..geometry.cone_beam import ConeBeamGeometry
 from ..geometry.fan_beam import FanBeamGeometry
 from ..parallel.backend import ExecutionBackend, SerialBackend
 from .siddon import trace_angle, trace_rays
+from .siddon3d import trace_rays_3d
 
 __all__ = [
     "build_projection_matrix",
+    "build_cone_projection_matrix",
     "build_fan_projection_matrix",
     "projection_matrix_stats",
 ]
@@ -41,6 +44,38 @@ def _trace_angle_chunk(
     vals: list[np.ndarray] = []
     for angle_index in range(start, stop):
         segs = trace_angle(geometry, angle_index)
+        rows.append(segs.ray_index)
+        cols.append(segs.pixel_index)
+        vals.append(segs.length)
+    empty = np.empty(0, dtype=np.int64)
+    return (
+        np.concatenate(rows) if rows else empty,
+        np.concatenate(cols) if cols else empty,
+        np.concatenate(vals) if vals else empty.astype(np.float64),
+    )
+
+
+def _trace_cone_chunk(
+    task: tuple[ConeBeamGeometry, int, int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Trace a contiguous cone-beam view range, returning (rows, cols, vals).
+
+    Module-level so the process backend can pickle it, mirroring
+    :func:`_trace_angle_chunk`.
+    """
+    geometry, start, stop = task
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    channels = np.arange(geometry.num_channels, dtype=np.int64)
+    for angle_index in range(start, stop):
+        origins, directions = geometry.ray_bundle(angle_index)
+        segs = trace_rays_3d(
+            geometry.grid,
+            origins,
+            directions,
+            geometry.ray_index(np.full_like(channels, angle_index), channels),
+        )
         rows.append(segs.ray_index)
         cols.append(segs.pixel_index)
         vals.append(segs.length)
@@ -83,7 +118,14 @@ def build_projection_matrix(
         Optional execution backend that fans per-angle Siddon tracing
         out across workers.  Chunks are concatenated in angle order, so
         the assembled matrix is bit-identical to the serial build.
+
+    Cone-beam and fan-beam geometries dispatch to their dedicated
+    builders, so ``preprocess`` stays geometry-agnostic.
     """
+    if isinstance(geometry, ConeBeamGeometry):
+        return build_cone_projection_matrix(geometry, dtype=dtype, backend=backend)
+    if isinstance(geometry, FanBeamGeometry):
+        return build_fan_projection_matrix(geometry, dtype=dtype)
     if backend is None:
         backend = SerialBackend()
     tasks = [
@@ -103,6 +145,40 @@ def build_projection_matrix(
         shape=shape,
     )
     csr = coo.tocsr()  # sums duplicate entries, sorts column indices
+    csr.sum_duplicates()
+    return csr
+
+
+def build_cone_projection_matrix(
+    geometry: ConeBeamGeometry,
+    dtype: np.dtype = np.float32,
+    backend: ExecutionBackend | None = None,
+) -> sp.csr_matrix:
+    """Assemble the 3D cone-beam ``A`` (one row per detector pixel ray).
+
+    Per-view tracing fans out across the backend exactly like the
+    parallel-beam builder; chunks concatenate in view order, so the
+    matrix is bit-identical to a serial build.
+    """
+    if backend is None:
+        backend = SerialBackend()
+    tasks = [
+        (geometry, start, stop)
+        for start, stop in _angle_chunks(geometry.num_angles, backend.workers)
+    ]
+    chunks = backend.map(_trace_cone_chunk, tasks)
+    shape = (geometry.num_rays, geometry.grid.num_voxels)
+    coo = sp.coo_matrix(
+        (
+            np.concatenate([c[2] for c in chunks]).astype(dtype, copy=False),
+            (
+                np.concatenate([c[0] for c in chunks]),
+                np.concatenate([c[1] for c in chunks]),
+            ),
+        ),
+        shape=shape,
+    )
+    csr = coo.tocsr()
     csr.sum_duplicates()
     return csr
 

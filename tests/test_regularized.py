@@ -1,0 +1,217 @@
+"""Tests for the regularized solvers (Tikhonov / gradient / TV).
+
+The two contract fixes under test:
+
+* the augmented wrapper operators honor the base operator's precision
+  (an fp32 operator stays fp32 end to end — zero float64 SpMV counter
+  activity) instead of hard-coding float64;
+* ``SolveResult.residual_norms`` reports the **data-term** residual
+  ``||y - A x||``, directly comparable against unregularized solves,
+  not the strength-inflated augmented-system residual.
+
+These tests pin dtypes explicitly so they hold under ambient
+``REPRO_DTYPE=float32`` / ``REPRO_WORKERS=2`` CI reruns.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import OperatorConfig, preprocess
+from repro.geometry import ParallelBeamGeometry
+from repro.phantoms import shepp_logan
+from repro.solvers import (
+    GradientAugmentedOperator,
+    GradientOperator,
+    TikhonovOperator,
+    cgls,
+    regularized_cgls,
+    tv_cgls,
+)
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return ParallelBeamGeometry(48, 32)
+
+
+@pytest.fixture(scope="module")
+def problem(geometry):
+    """Explicit-fp64 operator with a noiseless phantom sinogram."""
+    op, _ = preprocess(
+        geometry, config=OperatorConfig(kernel="csr", dtype="float64"), cache="off"
+    )
+    phantom = shepp_logan(32)
+    y = op.forward(op.image_to_ordered(phantom))
+    return op, phantom, y
+
+
+@pytest.fixture(scope="module")
+def problem32(geometry):
+    op, _ = preprocess(
+        geometry, config=OperatorConfig(kernel="csr", dtype="float32"), cache="off"
+    )
+    y = op.forward(op.image_to_ordered(shepp_logan(32)).astype(np.float32))
+    return op, y
+
+
+class TestDtypeContract:
+    """Satellite fix 1: wrappers inherit precision, never force fp64."""
+
+    def test_tikhonov_advertises_base_dtype(self, problem32):
+        op32, _ = problem32
+        aug = TikhonovOperator(op32, 0.1)
+        assert aug.solve_dtype == np.float32
+        assert aug.compute_dtype == np.float32
+
+    def test_gradient_advertises_base_dtype(self, problem32):
+        op32, _ = problem32
+        aug = GradientAugmentedOperator(op32, 0.1)
+        assert aug.solve_dtype == np.float32
+
+    def test_fp64_operator_stays_fp64(self, problem):
+        op, _, y = problem
+        aug = TikhonovOperator(op, 0.1)
+        assert aug.solve_dtype == np.float64
+        assert aug.forward(np.ones(op.num_pixels)).dtype == np.float64
+
+    def test_fp32_solve_emits_zero_fp64_spmv(self, problem32):
+        op32, y32 = problem32
+        with obs.capture() as cap:
+            result = regularized_cgls(op32, y32, strength=0.1, num_iterations=6)
+        assert result.x.dtype == np.float32
+        assert cap.total(obs.DTYPE_FP32_SPMV) > 0
+        assert cap.total(obs.DTYPE_FP64_SPMV) == 0
+
+    def test_fp32_tv_emits_zero_fp64_spmv(self, problem32):
+        op32, y32 = problem32
+        with obs.capture() as cap:
+            result = tv_cgls(
+                op32, y32, strength=0.02, num_iterations=4, outer_iterations=2
+            )
+        assert result.x.dtype == np.float32
+        assert cap.total(obs.DTYPE_FP64_SPMV) == 0
+
+    def test_fp32_gradient_regularizer(self, problem32):
+        op32, y32 = problem32
+        result = regularized_cgls(
+            op32,
+            y32,
+            strength=0.05,
+            num_iterations=6,
+            regularizer="gradient",
+        )
+        assert result.x.dtype == np.float32
+
+
+class TestDataResidual:
+    """Satellite fix 2: residual_norms == ||y - A x_i||, per iterate."""
+
+    def test_identity_prior_residuals_match_direct(self, problem):
+        op, _, y = problem
+        iterates = []
+        result = regularized_cgls(
+            op,
+            y,
+            strength=0.5,
+            num_iterations=8,
+            callback=lambda it, x: iterates.append(x.copy()),
+        )
+        assert len(result.residual_norms) == len(iterates) + 1
+        assert result.residual_norms[0] == pytest.approx(
+            float(np.linalg.norm(y)), rel=1e-12
+        )
+        for i, x in enumerate(iterates):
+            direct = float(np.linalg.norm(y - op.forward(x)))
+            assert result.residual_norms[i + 1] == pytest.approx(direct, rel=1e-6)
+
+    def test_gradient_prior_residuals_match_direct(self, problem):
+        op, _, y = problem
+        iterates = []
+        result = regularized_cgls(
+            op,
+            y,
+            strength=0.3,
+            num_iterations=6,
+            regularizer="gradient",
+            callback=lambda it, x: iterates.append(x.copy()),
+        )
+        for i, x in enumerate(iterates):
+            direct = float(np.linalg.norm(y - op.forward(x)))
+            assert result.residual_norms[i + 1] == pytest.approx(direct, rel=1e-6)
+
+    def test_comparable_to_unregularized(self, problem):
+        """With strength→0 the reported series converges to plain CGLS's."""
+        op, _, y = problem
+        plain = cgls(op, y, num_iterations=6)
+        reg = regularized_cgls(op, y, strength=1e-12, num_iterations=6)
+        np.testing.assert_allclose(
+            reg.residual_norms, plain.residual_norms, rtol=1e-5
+        )
+
+
+class TestGradientOperator:
+    def test_adjointness(self, rng):
+        grad = GradientOperator((12, 9))
+        u = rng.standard_normal(12 * 9)
+        v = rng.standard_normal(grad.num_edges)
+        lhs = float(grad.apply(u) @ v)
+        rhs = float(u @ grad.adjoint(v))
+        assert abs(lhs - rhs) / abs(lhs) < 1e-12
+
+    def test_adjointness_with_permutation(self, rng):
+        perm = rng.permutation(12 * 9)
+        grad = GradientOperator((12, 9), perm=perm)
+        u = rng.standard_normal(12 * 9)
+        v = rng.standard_normal(grad.num_edges)
+        lhs = float(grad.apply(u) @ v)
+        rhs = float(u @ grad.adjoint(v))
+        assert abs(lhs - rhs) / abs(lhs) < 1e-12
+
+    def test_constant_image_has_zero_gradient(self):
+        grad = GradientOperator((8, 8))
+        assert np.allclose(grad.apply(np.full(64, 5.0)), 0.0)
+
+    def test_augmented_adjointness(self, problem, rng):
+        op, *_ = problem
+        aug = GradientAugmentedOperator(op, 0.3)
+        u = rng.standard_normal(aug.num_pixels)
+        v = rng.standard_normal(aug.num_rays)
+        lhs = float(aug.forward(u) @ v)
+        rhs = float(u @ aug.adjoint(v))
+        assert abs(lhs - rhs) / abs(lhs) < 1e-10
+
+    def test_shape_mismatch_rejected(self, problem):
+        op, *_ = problem
+        with pytest.raises(ValueError, match="cells"):
+            GradientAugmentedOperator(op, 0.1, shape=(4, 4), perm=None)
+
+
+class TestRegularizationEffect:
+    def test_tikhonov_shrinks_solution_norm(self, problem):
+        op, _, y = problem
+        plain = cgls(op, y, num_iterations=10)
+        reg = regularized_cgls(op, y, strength=5.0, num_iterations=10)
+        assert np.linalg.norm(reg.x) < np.linalg.norm(plain.x)
+
+    def test_tv_beats_plain_on_noisy_data(self, problem):
+        op, phantom, y = problem
+        rng = np.random.default_rng(7)
+        noisy = y + 0.5 * rng.standard_normal(y.shape)
+        plain = cgls(op, noisy, num_iterations=20)
+        tv = tv_cgls(
+            op, noisy, strength=0.5, num_iterations=10, outer_iterations=3
+        )
+        target = op.image_to_ordered(phantom)
+        assert np.linalg.norm(tv.x - target) < np.linalg.norm(plain.x - target)
+
+    def test_invalid_arguments(self, problem):
+        op, _, y = problem
+        with pytest.raises(ValueError, match="strength"):
+            regularized_cgls(op, y, strength=-1.0)
+        with pytest.raises(ValueError, match="regularizer"):
+            regularized_cgls(op, y, strength=0.1, regularizer="fourier")
+        with pytest.raises(ValueError, match="outer_iterations"):
+            tv_cgls(op, y, strength=0.1, outer_iterations=0)
+        with pytest.raises(ValueError, match="epsilon"):
+            tv_cgls(op, y, strength=0.1, epsilon=0.0)
